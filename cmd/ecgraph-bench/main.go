@@ -1,0 +1,51 @@
+// Command ecgraph-bench regenerates the paper's tables and figures.
+//
+//	ecgraph-bench -list
+//	ecgraph-bench -exp fig6            # one experiment, full scale
+//	ecgraph-bench -exp all -quick      # everything, CI scale
+//
+// Output is textual: tables for Tables II/IV/V and epoch-series blocks for
+// the figures. See EXPERIMENTS.md for the recorded paper-vs-measured runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ecgraph/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig6, fig7, fig8, table2, table4, table5, fig9, fig10, fig11) or 'all'")
+		quick = flag.Bool("quick", false, "run reduced configurations (small datasets, few epochs)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-8s %s\n", name, experiments.Describe(name))
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: ecgraph-bench -exp <id>|all [-quick]   (use -list to enumerate)")
+		os.Exit(2)
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		fmt.Printf("### experiment %s — %s\n\n", name, experiments.Describe(name))
+		start := time.Now()
+		if err := experiments.Run(name, experiments.Options{Quick: *quick, Out: os.Stdout}); err != nil {
+			fmt.Fprintf(os.Stderr, "ecgraph-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

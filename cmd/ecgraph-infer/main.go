@@ -1,0 +1,95 @@
+// Command ecgraph-infer runs inference with a trained, saved model: load a
+// model file (written by nn.Model.SaveFile after core.Train +
+// core.FinalModel), load a graph in the text interchange format (or a
+// preset), run one forward pass and report accuracy, macro-F1 and the
+// confusion matrix — the deployment half of the train → save → infer story.
+//
+//	ecgraph-infer -model model.ecg -dataset cora
+//	ecgraph-infer -model model.ecg -edges e.txt -vertices v.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/metrics"
+	"ecgraph/internal/nn"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to a saved model (nn.Model.SaveFile)")
+		dataset   = flag.String("dataset", "", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
+		edges     = flag.String("edges", "", "edge-list file (with -vertices, instead of -dataset)")
+		vertices  = flag.String("vertices", "", "vertex file: label + features per line")
+		confusion = flag.Bool("confusion", false, "print the confusion matrix")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ecgraph-infer: %v\n", err)
+		os.Exit(1)
+	}
+	if *modelPath == "" {
+		fail(fmt.Errorf("-model is required"))
+	}
+	model, err := nn.LoadFile(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+
+	var d *datasets.Dataset
+	switch {
+	case *dataset != "":
+		d, err = datasets.Load(*dataset)
+	case *edges != "" && *vertices != "":
+		d, err = datasets.LoadFiles("custom", *edges, *vertices, 0, 0)
+	default:
+		err = fmt.Errorf("need -dataset or both -edges and -vertices")
+	}
+	if err != nil {
+		fail(err)
+	}
+	if model.Dims[0] != d.NumFeatures() || model.Dims[len(model.Dims)-1] != d.NumClasses {
+		fail(fmt.Errorf("model expects %d features → %d classes, dataset has %d → %d",
+			model.Dims[0], model.Dims[len(model.Dims)-1], d.NumFeatures(), d.NumClasses))
+	}
+
+	adj := graph.Normalize(d.Graph)
+	acts := model.Forward(adj, d.Features)
+	logits := acts.H[len(acts.H)-1]
+
+	all := make([]int, d.Graph.N)
+	for i := range all {
+		all[i] = i
+	}
+	fmt.Printf("model: %s, %v dims, %d parameters\n", model.Kind, model.Dims, model.ParamCount())
+	fmt.Printf("graph: %d vertices, %d edges\n\n", d.Graph.N, d.Graph.NumEdges())
+	fmt.Printf("accuracy (all vertices): %.4f\n", nn.Accuracy(logits, d.Labels, all))
+	if test := d.TestIdx(); len(test) > 0 && len(test) < d.Graph.N {
+		fmt.Printf("accuracy (test split):   %.4f\n", nn.Accuracy(logits, d.Labels, test))
+	}
+	fmt.Printf("macro F1 (all vertices): %.4f\n", nn.MacroF1(logits, d.Labels, all, d.NumClasses))
+
+	if *confusion {
+		cm := nn.ConfusionMatrix(logits, d.Labels, all, d.NumClasses)
+		headers := []string{"true\\pred"}
+		for c := 0; c < d.NumClasses; c++ {
+			headers = append(headers, fmt.Sprintf("%d", c))
+		}
+		table := metrics.NewTable("confusion matrix", headers...)
+		for c := 0; c < d.NumClasses; c++ {
+			row := []string{fmt.Sprintf("%d", c)}
+			for p := 0; p < d.NumClasses; p++ {
+				row = append(row, fmt.Sprintf("%d", cm[c][p]))
+			}
+			table.AddRowStrings(row...)
+		}
+		fmt.Println()
+		table.Render(os.Stdout)
+	}
+}

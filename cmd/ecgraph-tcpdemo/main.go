@@ -1,0 +1,76 @@
+// Command ecgraph-tcpdemo runs a full EC-Graph training session over real
+// loopback TCP sockets — every worker↔worker and worker↔server message
+// crosses an actual network stack through the same codec the simulated
+// transport counts. It demonstrates that the protocol is not tied to the
+// in-process harness.
+//
+//	ecgraph-tcpdemo -dataset cora -workers 3 -epochs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecgraph/internal/core"
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/metrics"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "cora", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
+		workers = flag.Int("workers", 3, "number of workers")
+		servers = flag.Int("servers", 1, "number of parameter servers")
+		epochs  = flag.Int("epochs", 20, "training epochs")
+		bits    = flag.Int("bits", 2, "compression bits for both directions")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ecgraph-tcpdemo: %v\n", err)
+		os.Exit(1)
+	}
+
+	d, err := datasets.Load(*dataset)
+	if err != nil {
+		fail(err)
+	}
+	net, err := transport.NewTCPCluster(*workers + *servers)
+	if err != nil {
+		fail(err)
+	}
+	defer net.Close()
+	for i := 0; i < *workers+*servers; i++ {
+		fmt.Printf("node %d listening on %s\n", i, net.Addr(i))
+	}
+
+	res, err := core.Train(core.Config{
+		Dataset: d,
+		Kind:    nn.KindGCN,
+		Hidden:  []int{16},
+		Workers: *workers,
+		Servers: *servers,
+		Epochs:  *epochs,
+		LR:      0.01,
+		Seed:    1,
+		Net:     net,
+		Worker: worker.Options{
+			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
+			FPBits: *bits, BPBits: *bits, Ttr: 10,
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	var bytes int64
+	for _, e := range res.Epochs {
+		bytes += e.Bytes
+	}
+	fmt.Printf("\ntrained %d epochs over TCP: test accuracy %.4f, %s moved across sockets\n",
+		*epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
+}

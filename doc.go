@@ -1,0 +1,15 @@
+// Package ecgraph reproduces "EC-Graph: A Distributed Graph Neural Network
+// System with Error-Compensated Compression" (Song, Gu, Qi, Wang, Yu —
+// ICDE 2022) as a self-contained Go library.
+//
+// The public entry points live in the internal packages (this module is an
+// application-style repo; examples/ and cmd/ show the intended usage):
+//
+//   - internal/core      — the EC-Graph engine: core.Train(core.Config)
+//   - internal/baselines — DGL/PyG/DistGNN/DistDGL/AGL/AliGraph-FG/EC-Graph-S
+//   - internal/experiments — regenerates every table and figure of §V
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's tables
+// and figures; `go test -bench=. -benchmem` runs them all at quick scale,
+// and cmd/ecgraph-bench runs the full-scale versions.
+package ecgraph

@@ -1,0 +1,70 @@
+// Distributed-TCP example: the same training pipeline as quickstart, but
+// every message — ghost embeddings, embedding gradients, parameter pulls
+// and pushes — crosses real loopback TCP sockets through the binary codec.
+// Compares the byte counts against the in-process transport to show the
+// simulation counts exactly what the wire carries.
+//
+//	go run ./examples/distributed_tcp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecgraph/internal/core"
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/metrics"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+func main() {
+	d := datasets.MustLoad("pubmed")
+	const workers, servers, epochs = 3, 1, 10
+
+	opts := worker.Options{
+		FPScheme: worker.SchemeEC, FPBits: 2,
+		BPScheme: worker.SchemeEC, BPBits: 2,
+		Ttr: 5,
+	}
+	base := core.Config{
+		Dataset: d, Kind: nn.KindGCN, Hidden: []int{16},
+		Workers: workers, Servers: servers, Epochs: epochs,
+		LR: 0.01, Seed: 1, Worker: opts,
+	}
+
+	// Run 1: in-process transport (byte-counted simulation).
+	inproc, err := core.Train(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 2: real TCP sockets.
+	net, err := transport.NewTCPCluster(workers + servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	fmt.Println("TCP cluster:")
+	for i := 0; i < workers+servers; i++ {
+		role := "worker"
+		if i >= workers {
+			role = "server"
+		}
+		fmt.Printf("  node %d (%s) on %s\n", i, role, net.Addr(i))
+	}
+	tcpCfg := base
+	tcpCfg.Net = net
+	tcp, err := core.Train(tcpCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nin-process: acc %.4f, %s/epoch on the (virtual) wire\n",
+		inproc.TestAccuracy, metrics.FormatBytes(inproc.AvgEpochBytes()))
+	fmt.Printf("real TCP:   acc %.4f, %s/epoch across sockets\n",
+		tcp.TestAccuracy, metrics.FormatBytes(tcp.AvgEpochBytes()))
+	fmt.Printf("\nsame codec on both paths — the byte counts differ only by TCP framing (%.1f%%)\n",
+		100*(tcp.AvgEpochBytes()-inproc.AvgEpochBytes())/inproc.AvgEpochBytes())
+}

@@ -1,0 +1,3 @@
+module ecgraph
+
+go 1.22

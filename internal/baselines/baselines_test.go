@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"testing"
+
+	"ecgraph/internal/core"
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/partition"
+)
+
+func blockCfg(name string, epochs int) BlockConfig {
+	return BlockConfig{
+		Dataset: datasets.MustLoad(name),
+		Kind:    nn.KindGCN,
+		Hidden:  []int{16},
+		Workers: 3,
+		Servers: 1,
+		Epochs:  epochs,
+		LR:      0.01,
+		Seed:    1,
+	}
+}
+
+func TestStandaloneDGLLearns(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	res := Standalone(d, nn.KindGCN, []int{16}, 40, 0.01, 1, KernelDGL)
+	if res.TestAccuracy < 0.80 {
+		t.Fatalf("DGL standalone accuracy %.3f", res.TestAccuracy)
+	}
+	for _, e := range res.Epochs {
+		if e.CommSeconds != 0 || e.Bytes != 0 {
+			t.Fatalf("standalone run should have zero traffic")
+		}
+	}
+}
+
+func TestPyGKernelMatchesDGLMath(t *testing.T) {
+	// The two kernels are different implementations of the same math; with
+	// the same seed they must produce near-identical accuracy trajectories.
+	d := datasets.MustLoad("cora")
+	dgl := Standalone(d, nn.KindGCN, []int{16}, 15, 0.01, 1, KernelDGL)
+	pyg := Standalone(d, nn.KindGCN, []int{16}, 15, 0.01, 1, KernelPyG)
+	for e := range dgl.Epochs {
+		if diff := dgl.Epochs[e].Loss - pyg.Epochs[e].Loss; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("epoch %d: kernel losses diverge %v vs %v", e, dgl.Epochs[e].Loss, pyg.Epochs[e].Loss)
+		}
+	}
+}
+
+func TestPyGKernelSlowerThanDGL(t *testing.T) {
+	d := datasets.MustLoad("pubmed")
+	dgl := Standalone(d, nn.KindGCN, []int{16}, 3, 0.01, 1, KernelDGL)
+	pyg := Standalone(d, nn.KindGCN, []int{16}, 3, 0.01, 1, KernelPyG)
+	if pyg.AvgEpochSeconds() <= dgl.AvgEpochSeconds() {
+		t.Fatalf("PyG kernel %.4fs not slower than DGL %.4fs", pyg.AvgEpochSeconds(), dgl.AvgEpochSeconds())
+	}
+}
+
+func TestDistDGLLearnsAndRefetches(t *testing.T) {
+	cfg := blockCfg("cora", 30)
+	res, err := DistDGL(cfg, []int{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.70 {
+		t.Fatalf("DistDGL accuracy %.3f", res.TestAccuracy)
+	}
+	// Online sampling refetches features every epoch → per-epoch traffic.
+	for e, s := range res.Epochs {
+		if s.Bytes == 0 {
+			t.Fatalf("epoch %d: online sampling produced no traffic", e)
+		}
+	}
+}
+
+func TestAliGraphFGZeroPerEpochGraphTraffic(t *testing.T) {
+	cfg := blockCfg("cora", 15)
+	res, err := AliGraphFG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.70 {
+		t.Fatalf("AliGraph-FG accuracy %.3f", res.TestAccuracy)
+	}
+	// ML-centered: after preprocessing only PS pull/push remains, which is
+	// far less than DistDGL's feature refetches.
+	dd, err := DistDGL(blockCfg("cora", 15), []int{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgEpochBytes() >= dd.AvgEpochBytes() {
+		t.Fatalf("AliGraph-FG epoch bytes %.0f not below DistDGL %.0f", res.AvgEpochBytes(), dd.AvgEpochBytes())
+	}
+}
+
+func TestAliGraphFGCachesMoreMemory(t *testing.T) {
+	// Table II: ML-centered caches ḡ^L-ish neighbourhoods — more rows than
+	// a graph-centered worker's owned + ghost set. At laptop scale both can
+	// ceiling at the whole graph on dense presets, so measure where the
+	// asymptotics are visible: a sparse graph, three layers, and a low-cut
+	// partitioner on the graph-centered side.
+	cfg := blockCfg("cora", 2)
+	cfg.Hidden = []int{16, 16}
+	res, err := AliGraphFG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecRes, err := core.Train(core.Config{
+		Dataset: cfg.Dataset, Kind: nn.KindGCN, Hidden: []int{16, 16},
+		Workers: 3, Servers: 1, Epochs: 2, LR: 0.01, Seed: 1,
+		Partitioner: partition.Metis{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mlMem, ecMem int64
+	for _, m := range res.MemoryFloats {
+		mlMem += m
+	}
+	for _, m := range ecRes.MemoryFloats {
+		ecMem += m
+	}
+	if mlMem <= ecMem {
+		t.Fatalf("ML-centered memory %d not above graph-centered %d", mlMem, ecMem)
+	}
+}
+
+func TestAGLRevectorizesEveryEpoch(t *testing.T) {
+	cfg := blockCfg("cora", 10)
+	agl, err := AGL(cfg, []int{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecs, err := ECGraphS(blockCfg("cora", 10), []int{10, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agl.TestAccuracy < 0.70 || ecs.TestAccuracy < 0.70 {
+		t.Fatalf("accuracies too low: AGL %.3f ECGraphS %.3f", agl.TestAccuracy, ecs.TestAccuracy)
+	}
+	// AGL pays vectorisation every epoch; EC-Graph-S does not.
+	if agl.AvgEpochSeconds() <= ecs.AvgEpochSeconds() {
+		t.Logf("warning: AGL %.5fs/epoch not above EC-Graph-S %.5fs/epoch (timing-noise prone)", agl.AvgEpochSeconds(), ecs.AvgEpochSeconds())
+	}
+}
+
+func TestECGraphSCompressesFeaturePull(t *testing.T) {
+	raw, err := AGL(blockCfg("cora", 2), []int{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ECGraphS(blockCfg("cora", 2), []int{10, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The feature pull happens in preprocessing; compare its simulated time
+	// through the preprocessing seconds' comm share — indirectly via
+	// PreprocessSeconds. Both include similar compute, so compressed must
+	// not be slower by more than noise; assert the compressed variant's
+	// preprocessing isn't larger by 2x.
+	if comp.PreprocessSeconds > 2*raw.PreprocessSeconds+0.05 {
+		t.Fatalf("compressed preprocessing %.4f unexpectedly above raw %.4f", comp.PreprocessSeconds, raw.PreprocessSeconds)
+	}
+}
+
+func TestDistGNNWrapper(t *testing.T) {
+	res, err := DistGNN(core.Config{
+		Dataset: datasets.MustLoad("cora"), Kind: nn.KindGCN, Hidden: []int{16},
+		Workers: 3, Servers: 1, Epochs: 20, LR: 0.01, Seed: 1,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.70 {
+		t.Fatalf("DistGNN accuracy %.3f", res.TestAccuracy)
+	}
+}
+
+func TestTrainBlockMissingDataset(t *testing.T) {
+	if _, err := TrainBlock(BlockConfig{}); err == nil {
+		t.Fatalf("expected error")
+	}
+}

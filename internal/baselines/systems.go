@@ -1,0 +1,62 @@
+package baselines
+
+import (
+	"ecgraph/internal/core"
+	"ecgraph/internal/worker"
+)
+
+// DistGNN runs the paper's non-sampling baseline: EC-Graph's graph-centered
+// engine with delayed remote partial aggregation of round r (the paper sets
+// r = 5 following the DistGNN paper) and no compression.
+func DistGNN(cfg core.Config, r int) (*core.Result, error) {
+	if r < 2 {
+		r = 5
+	}
+	cfg.Worker = worker.Options{FPScheme: worker.SchemeRaw, BPScheme: worker.SchemeRaw, DelayRounds: r}
+	return core.Train(cfg)
+}
+
+// DistDGL runs the graph-centered online-sampling baseline: blocks are
+// resampled and remote features refetched every epoch.
+func DistDGL(cfg BlockConfig, fanouts []int) (*core.Result, error) {
+	cfg.Fanouts = fanouts
+	cfg.Online = true
+	cfg.Revectorize = false
+	cfg.FeatureBits = 0
+	return TrainBlock(cfg)
+}
+
+// AGL runs the ML-centered pre-sampled baseline: blocks are sampled once,
+// but the sub-graph vectorisation is redone every epoch because, as in the
+// paper's clusters, GraphFlat's pipeline cannot be overlapped.
+func AGL(cfg BlockConfig, fanouts []int) (*core.Result, error) {
+	cfg.Fanouts = fanouts
+	cfg.Online = false
+	cfg.Revectorize = true
+	cfg.FeatureBits = 0
+	return TrainBlock(cfg)
+}
+
+// AliGraphFG runs the ML-centered full-graph baseline: each worker caches
+// the complete L-hop neighbourhood of its training vertices and trains
+// locally with zero per-epoch graph traffic but heavily redundant compute.
+func AliGraphFG(cfg BlockConfig) (*core.Result, error) {
+	cfg.Fanouts = nil
+	cfg.Online = false
+	cfg.Revectorize = false
+	cfg.FeatureBits = 0
+	return TrainBlock(cfg)
+}
+
+// ECGraphS runs EC-Graph's sampling mode: pre-sampled blocks vectorised
+// once, with the feature pull compressed by the given bit width.
+func ECGraphS(cfg BlockConfig, fanouts []int, bits int) (*core.Result, error) {
+	cfg.Fanouts = fanouts
+	cfg.Online = false
+	cfg.Revectorize = false
+	if bits <= 0 {
+		bits = 8
+	}
+	cfg.FeatureBits = bits
+	return TrainBlock(cfg)
+}

@@ -1,0 +1,164 @@
+// Package compress implements the paper's lossy message compression
+// (§IV-A, Fig. 3): each float32 element of an embedding or gradient matrix
+// is mapped into one of 2^B uniform buckets over the matrix's value domain,
+// and only the B-bit bucket id travels on the wire, together with the small
+// table of bucket values. This cuts the per-element cost from 32 bits to B
+// bits — the 32/B factor in Table II.
+//
+// Bucket ids are packed into 64-bit words. B must divide 64, which holds for
+// the paper's bit menu {1, 2, 4, 8, 16}.
+package compress
+
+import (
+	"fmt"
+
+	"ecgraph/internal/tensor"
+)
+
+// ValidBits is the bit-width menu used by the Bit-Tuner (Alg. 3).
+var ValidBits = []int{1, 2, 4, 8, 16}
+
+// IsValidBits reports whether b is an allowed compression width.
+func IsValidBits(b int) bool {
+	for _, v := range ValidBits {
+		if v == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Quantized is a compressed matrix: bucket ids packed into words plus the
+// value domain from which bucket representative values are derived.
+type Quantized struct {
+	Rows, Cols int
+	Bits       int
+	Lo, Hi     float32 // value domain [Lo, Hi]
+	// ZeroCentered marks the gradient grid of CompressZeroCentered
+	// (2^B−1 levels including exactly 0) instead of bucket midpoints.
+	ZeroCentered bool
+	Packed       []uint64 // ceil(Rows*Cols*Bits/64) words
+}
+
+// Compress quantises m with the given bit width, deriving the domain from
+// the matrix's own min/max (Alg. 6 line 4: gradients "will not be normalised
+// into a unit ball", so the domain must be measured).
+func Compress(m *tensor.Matrix, bits int) *Quantized {
+	lo, hi := m.MinMax()
+	return CompressWithRange(m, bits, lo, hi)
+}
+
+// CompressWithRange quantises m over the explicit domain [lo, hi]. Values
+// outside the domain are clamped to the boundary buckets.
+func CompressWithRange(m *tensor.Matrix, bits int, lo, hi float32) *Quantized {
+	if !IsValidBits(bits) {
+		panic(fmt.Sprintf("compress: invalid bit width %d (allowed %v)", bits, ValidBits))
+	}
+	n := m.Rows * m.Cols
+	perWord := 64 / bits
+	q := &Quantized{
+		Rows: m.Rows, Cols: m.Cols, Bits: bits, Lo: lo, Hi: hi,
+		Packed: make([]uint64, (n+perWord-1)/perWord),
+	}
+	if n == 0 {
+		return q
+	}
+	buckets := 1 << bits
+	span := hi - lo
+	if span <= 0 {
+		// Degenerate domain: everything lands in bucket 0 (Packed stays zero)
+		// and decompresses back to lo exactly.
+		return q
+	}
+	scale := float32(buckets) / span
+	for i, v := range m.Data {
+		b := int((v - lo) * scale)
+		if b < 0 {
+			b = 0
+		} else if b >= buckets {
+			b = buckets - 1
+		}
+		q.Packed[i/perWord] |= uint64(b) << (uint(i%perWord) * uint(bits))
+	}
+	return q
+}
+
+// BucketValue returns the representative value of bucket/level id.
+func (q *Quantized) BucketValue(id int) float32 {
+	if q.ZeroCentered {
+		return q.zeroCenteredValue(id)
+	}
+	if q.Hi <= q.Lo {
+		return q.Lo
+	}
+	width := (q.Hi - q.Lo) / float32(int(1)<<q.Bits)
+	return q.Lo + (float32(id)+0.5)*width
+}
+
+// Decompress reconstructs the matrix, replacing each element with its
+// bucket's representative value.
+func (q *Quantized) Decompress() *tensor.Matrix {
+	out := tensor.New(q.Rows, q.Cols)
+	n := q.Rows * q.Cols
+	if n == 0 {
+		return out
+	}
+	perWord := 64 / q.Bits
+	mask := uint64(1)<<uint(q.Bits) - 1
+	// Precompute the bucket value table (the paper sends this table on the
+	// wire; we rebuild it from the domain on both ends).
+	table := make([]float32, 1<<q.Bits)
+	for id := range table {
+		table[id] = q.BucketValue(id)
+	}
+	for i := 0; i < n; i++ {
+		w := q.Packed[i/perWord]
+		id := (w >> (uint(i%perWord) * uint(q.Bits))) & mask
+		out.Data[i] = table[id]
+	}
+	return out
+}
+
+// BucketID returns the stored bucket id of element i (row-major); exported
+// for tests and the selector's diagnostics.
+func (q *Quantized) BucketID(i int) int {
+	perWord := 64 / q.Bits
+	mask := uint64(1)<<uint(q.Bits) - 1
+	return int((q.Packed[i/perWord] >> (uint(i%perWord) * uint(q.Bits))) & mask)
+}
+
+// WireBytes returns the number of bytes this message occupies on the wire:
+// packed ids, the 2^B-entry float32 bucket table, and a fixed header
+// (shape, bits, domain). This is the quantity the communication model
+// charges for.
+func (q *Quantized) WireBytes() int {
+	const header = 4 + 4 + 2 + 4 + 4 // rows, cols, bits, lo, hi
+	n := q.Rows * q.Cols
+	idBytes := (n*q.Bits + 7) / 8
+	tableBytes := (1 << q.Bits) * 4
+	return header + idBytes + tableBytes
+}
+
+// RawWireBytes returns the uncompressed wire size of a rows×cols float32
+// matrix plus the same fixed header, for compression-ratio accounting.
+func RawWireBytes(rows, cols int) int {
+	const header = 4 + 4
+	return header + rows*cols*4
+}
+
+// MaxAbsError returns the worst-case absolute reconstruction error of q's
+// configuration: half a bucket width. Useful for tests of the α-contraction
+// property (Eq. 13).
+func (q *Quantized) MaxAbsError() float32 {
+	if q.Hi <= q.Lo {
+		return 0
+	}
+	if q.ZeroCentered {
+		levels := (1 << q.Bits) - 1
+		if q.Bits == 1 {
+			levels = 2
+		}
+		return (q.Hi - q.Lo) / float32(levels-1) / 2
+	}
+	return (q.Hi - q.Lo) / float32(int(1)<<q.Bits) / 2
+}

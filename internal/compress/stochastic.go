@@ -1,0 +1,60 @@
+package compress
+
+import (
+	"math/rand"
+
+	"ecgraph/internal/tensor"
+)
+
+// CompressStochastic quantises m with stochastic rounding: instead of
+// mapping a value to the bucket containing it (deterministic, biased
+// towards bucket midpoints), the value is rounded to one of the two
+// adjacent bucket representatives with probabilities proportional to
+// proximity, making the reconstruction *unbiased*: E[C(x)] = x for values
+// inside the domain.
+//
+// The paper's quantiser is deterministic (Fig. 3); stochastic rounding is
+// the standard unbiasedness refinement from the gradient-compression
+// literature (QSGD-style) and is exposed as an extension. Error feedback
+// (ResEC-BP) composes with either.
+func CompressStochastic(m *tensor.Matrix, bits int, rng *rand.Rand) *Quantized {
+	lo, hi := m.MinMax()
+	return CompressStochasticWithRange(m, bits, lo, hi, rng)
+}
+
+// CompressStochasticWithRange is CompressStochastic over an explicit domain.
+func CompressStochasticWithRange(m *tensor.Matrix, bits int, lo, hi float32, rng *rand.Rand) *Quantized {
+	if !IsValidBits(bits) {
+		panic("compress: invalid bit width for stochastic rounding")
+	}
+	n := m.Rows * m.Cols
+	perWord := 64 / bits
+	q := &Quantized{
+		Rows: m.Rows, Cols: m.Cols, Bits: bits, Lo: lo, Hi: hi,
+		Packed: make([]uint64, (n+perWord-1)/perWord),
+	}
+	if n == 0 || hi <= lo {
+		return q
+	}
+	buckets := 1 << bits
+	width := (hi - lo) / float32(buckets)
+	// Representative of bucket id is lo + (id+0.5)·width. A value x sits a
+	// fraction f ∈ [0,1) between representatives id and id+1; round up with
+	// probability f.
+	for i, v := range m.Data {
+		// Position in representative space.
+		pos := (v-lo)/width - 0.5
+		id := int(pos)
+		frac := pos - float32(id)
+		if pos < 0 {
+			id, frac = 0, 0
+		}
+		if id >= buckets-1 {
+			id, frac = buckets-1, 0
+		} else if rng.Float32() < frac {
+			id++
+		}
+		q.Packed[i/perWord] |= uint64(id) << (uint(i%perWord) * uint(bits))
+	}
+	return q
+}

@@ -1,0 +1,99 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecgraph/internal/tensor"
+)
+
+func TestStochasticRoundTripBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 20, 10, -1, 1)
+	q := CompressStochastic(m, 4, rng)
+	d := q.Decompress()
+	// Stochastic rounding moves at most one full bucket width.
+	maxErr := float64(2 * q.MaxAbsError())
+	for i := range m.Data {
+		if err := math.Abs(float64(m.Data[i] - d.Data[i])); err > maxErr+1e-6 {
+			t.Fatalf("element %d error %v exceeds bucket width %v", i, err, maxErr)
+		}
+	}
+}
+
+// TestStochasticUnbiased is the defining property: averaging many
+// independent quantisations of the same value recovers it.
+func TestStochasticUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := tensor.FromSlice(1, 1, []float32{0.37})
+	const trials = 4000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		q := CompressStochasticWithRange(m, 2, 0, 1, rng)
+		sum += float64(q.Decompress().Data[0])
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.37) > 0.01 {
+		t.Fatalf("stochastic rounding biased: mean %v, want 0.37", mean)
+	}
+}
+
+// TestDeterministicIsBiasedWhereStochasticIsNot demonstrates why the
+// extension exists: the midpoint quantiser has a systematic offset for
+// values away from bucket centres.
+func TestDeterministicIsBiasedWhereStochasticIsNot(t *testing.T) {
+	m := tensor.FromSlice(1, 1, []float32{0.37})
+	q := CompressWithRange(m, 2, 0, 1)
+	got := float64(q.Decompress().Data[0])
+	if math.Abs(got-0.37) < 1e-6 {
+		t.Fatalf("expected deterministic offset, got exact value")
+	}
+}
+
+func TestStochasticEdgeValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.FromSlice(1, 4, []float32{-5, 0, 1, 5})
+	q := CompressStochasticWithRange(m, 2, 0, 1, rng)
+	d := q.Decompress()
+	if d.Data[0] != q.BucketValue(0) {
+		t.Fatalf("below-domain value not clamped down: %v", d.Data[0])
+	}
+	if d.Data[3] != q.BucketValue(3) {
+		t.Fatalf("above-domain value not clamped up: %v", d.Data[3])
+	}
+}
+
+func TestStochasticDegenerateAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := tensor.New(2, 2)
+	m.Fill(0.5)
+	q := CompressStochastic(m, 4, rng)
+	for _, v := range q.Decompress().Data {
+		if v != 0.5 {
+			t.Fatalf("degenerate domain broken: %v", v)
+		}
+	}
+	if got := CompressStochastic(tensor.New(0, 3), 2, rng).Decompress(); got.Rows != 0 {
+		t.Fatalf("empty matrix round trip broken")
+	}
+}
+
+func TestStochasticInvalidBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	CompressStochastic(tensor.New(1, 1), 5, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkCompressStochastic2Bit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 1024, 128, 0, 1)
+	b.SetBytes(int64(len(m.Data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompressStochastic(m, 2, rng)
+	}
+}

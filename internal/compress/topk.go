@@ -1,0 +1,97 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+
+	"ecgraph/internal/tensor"
+)
+
+// Top-K sparsification (Stich et al., "Sparsified SGD with Memory" — the
+// paper's reference [32] and the source of its Eq. 13 error-contraction
+// condition). Instead of quantising every element, only the k largest-
+// magnitude elements travel, as (index, value) pairs; everything else is
+// zero. Composes with ResEC-BP's error feedback exactly like the bucket
+// quantiser, and the ablation benchmarks compare the two under the same
+// byte budget.
+
+// Sparse is a sparsified matrix: the kept elements in row-major index
+// order.
+type Sparse struct {
+	Rows, Cols int
+	Idx        []int32   // flat row-major indices of kept elements, ascending
+	Val        []float32 // kept values
+}
+
+// TopK keeps the k largest-|value| elements of m (all of them if k exceeds
+// the element count).
+func TopK(m *tensor.Matrix, k int) *Sparse {
+	n := len(m.Data)
+	if k < 0 {
+		panic(fmt.Sprintf("compress: negative k %d", k))
+	}
+	if k > n {
+		k = n
+	}
+	s := &Sparse{Rows: m.Rows, Cols: m.Cols}
+	if k == 0 || n == 0 {
+		return s
+	}
+	// Select the magnitude threshold via a partial sort of indices.
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	abs := func(v float32) float32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := abs(m.Data[idx[a]]), abs(m.Data[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b] // deterministic ties
+	})
+	kept := append([]int32(nil), idx[:k]...)
+	sort.Slice(kept, func(a, b int) bool { return kept[a] < kept[b] })
+	s.Idx = kept
+	s.Val = make([]float32, k)
+	for i, id := range kept {
+		s.Val[i] = m.Data[id]
+	}
+	return s
+}
+
+// Dense reconstructs the sparsified matrix (zeros elsewhere).
+func (s *Sparse) Dense() *tensor.Matrix {
+	out := tensor.New(s.Rows, s.Cols)
+	for i, id := range s.Idx {
+		out.Data[id] = s.Val[i]
+	}
+	return out
+}
+
+// WireBytes returns the on-wire size: header plus 4-byte index and 4-byte
+// value per kept element.
+func (s *Sparse) WireBytes() int {
+	const header = 4 + 4 + 4
+	return header + len(s.Idx)*8
+}
+
+// KForBudget returns the number of elements Top-K may keep to stay within
+// the byte budget of B-bit quantisation of an n-element matrix: each kept
+// element costs 8 bytes versus B/8 per quantised element.
+func KForBudget(n, bits int) int {
+	budget := n * bits / 8
+	k := budget / 8
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,167 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecgraph/internal/tensor"
+)
+
+func TestTopKKeepsLargest(t *testing.T) {
+	m := tensor.FromSlice(2, 3, []float32{0.1, -5, 0.3, 2, -0.2, 0})
+	s := TopK(m, 2)
+	d := s.Dense()
+	if d.At(0, 1) != -5 || d.At(1, 0) != 2 {
+		t.Fatalf("top-2 wrong: %v", d)
+	}
+	if d.AbsSum() != 7 {
+		t.Fatalf("extra elements kept: %v", d)
+	}
+}
+
+func TestTopKAllAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.New(4, 4)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	if !TopK(m, 100).Dense().Equal(m, 0) {
+		t.Fatalf("k ≥ n must be lossless")
+	}
+	if TopK(m, 0).Dense().AbsSum() != 0 {
+		t.Fatalf("k = 0 must drop everything")
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	m := tensor.FromSlice(1, 4, []float32{1, 1, 1, 1})
+	a := TopK(m, 2)
+	b := TopK(m, 2)
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] {
+			t.Fatalf("nondeterministic tie break")
+		}
+	}
+	// Ties break toward lower indices.
+	if a.Idx[0] != 0 || a.Idx[1] != 1 {
+		t.Fatalf("tie break wrong: %v", a.Idx)
+	}
+}
+
+func TestTopKNegativeKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	TopK(tensor.New(1, 1), -1)
+}
+
+func TestTopKWireBytes(t *testing.T) {
+	s := TopK(tensor.New(10, 10), 5)
+	// All-zero matrix: top-5 still keeps 5 (zero) elements.
+	if s.WireBytes() != 12+5*8 {
+		t.Fatalf("WireBytes = %d", s.WireBytes())
+	}
+}
+
+func TestKForBudget(t *testing.T) {
+	// 1024 elements at 2 bits = 256 bytes = 32 (idx,val) pairs.
+	if got := KForBudget(1024, 2); got != 32 {
+		t.Fatalf("KForBudget = %d, want 32", got)
+	}
+	if got := KForBudget(4, 1); got != 1 {
+		t.Fatalf("tiny budget floor: %d", got)
+	}
+	if got := KForBudget(1, 16); got != 1 {
+		t.Fatalf("cap at n: %d", got)
+	}
+}
+
+func TestTopKErrorFeedbackRecoversMass(t *testing.T) {
+	// Top-K with memory (ref [32]): cumulative delivered mass approaches the
+	// true cumulative gradient even though each round drops most elements.
+	rng := rand.New(rand.NewSource(2))
+	rows, cols := 8, 8
+	residual := tensor.New(rows, cols)
+	sumTrue := tensor.New(rows, cols)
+	sumSent := tensor.New(rows, cols)
+	for it := 0; it < 60; it++ {
+		g := tensor.New(rows, cols)
+		for i := range g.Data {
+			g.Data[i] = float32(rng.NormFloat64())
+		}
+		sumTrue.AddInPlace(g)
+		cpt := g.Add(residual)
+		sent := TopK(cpt, 8).Dense()
+		sumSent.AddInPlace(sent)
+		residual = cpt.Sub(sent)
+	}
+	if diff := sumTrue.Sub(sumSent).FrobeniusNorm(); math.Abs(diff-residual.FrobeniusNorm()) > 1e-3 {
+		t.Fatalf("EF identity violated for Top-K: %v vs %v", diff, residual.FrobeniusNorm())
+	}
+}
+
+func TestPerRowRoundTripTighterThanGlobal(t *testing.T) {
+	// One outlier row blows up the global domain; per-row domains keep every
+	// other row accurate.
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.New(16, 8)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32() // [0,1)
+	}
+	for c := 0; c < 8; c++ {
+		m.Set(0, c, 100*rng.Float32()) // outlier row
+	}
+	global := Compress(m, 4).Decompress().Sub(m).AbsSum()
+	perRow := CompressPerRow(m, 4).Decompress().Sub(m).AbsSum()
+	if perRow >= global/4 {
+		t.Fatalf("per-row error %v not far below global %v", perRow, global)
+	}
+}
+
+func TestPerRowErrorWithinHalfRowBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := tensor.New(10, 6)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	q := CompressPerRow(m, 4)
+	d := q.Decompress()
+	for r := 0; r < m.Rows; r++ {
+		half := float64(q.Hi[r]-q.Lo[r]) / 16 / 2
+		for c := 0; c < m.Cols; c++ {
+			if err := math.Abs(float64(m.At(r, c) - d.At(r, c))); err > half+1e-6 {
+				t.Fatalf("row %d col %d error %v > %v", r, c, err, half)
+			}
+		}
+	}
+}
+
+func TestPerRowConstantRow(t *testing.T) {
+	m := tensor.FromSlice(2, 3, []float32{5, 5, 5, 1, 2, 3})
+	d := CompressPerRow(m, 2).Decompress()
+	for c := 0; c < 3; c++ {
+		if d.At(0, c) != 5 {
+			t.Fatalf("constant row not exact: %v", d.Row(0))
+		}
+	}
+}
+
+func TestPerRowWireBytes(t *testing.T) {
+	q := CompressPerRow(tensor.New(10, 16), 2)
+	want := 10 + (10*16*2+7)/8 + 10*8
+	if got := q.WireBytes(); got != want {
+		t.Fatalf("WireBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPerRowInvalidBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	CompressPerRow(tensor.New(1, 1), 7)
+}

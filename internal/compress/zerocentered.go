@@ -1,0 +1,74 @@
+package compress
+
+import (
+	"fmt"
+
+	"ecgraph/internal/tensor"
+)
+
+// Zero-centered level quantisation for gradients.
+//
+// The bucket quantiser of Fig. 3 reconstructs every element as a bucket
+// midpoint, so an exact zero comes back as a small non-zero value. Embedding
+// gradients are near-sparse (loss gradients are zero outside the training
+// vertices), and under error feedback that systematic offset on the zeros
+// oscillates instead of vanishing — at 2 bits it can destroy convergence.
+// CompressZeroCentered therefore quantises onto 2^B−1 uniformly spaced
+// levels over the symmetric domain [−max|x|, +max|x|]; the level count is
+// odd, so exactly one level is 0 and zeros round-trip losslessly (the
+// standard QSGD-style gradient grid). Level ids still pack into B bits.
+
+// CompressZeroCentered quantises m onto the zero-centred level grid. At
+// B = 1 the grid degenerates to sign quantisation {−a, +a}; there the scale
+// a is the mean absolute value (the 1-bit-SGD optimum, which keeps the
+// quantiser an L2-contraction) rather than max |x|, which would make it an
+// expansion on peaked data and break error feedback.
+func CompressZeroCentered(m *tensor.Matrix, bits int) *Quantized {
+	if !IsValidBits(bits) {
+		panic(fmt.Sprintf("compress: invalid bit width %d (allowed %v)", bits, ValidBits))
+	}
+	mx := m.MaxAbs()
+	if bits == 1 && len(m.Data) > 0 {
+		mx = float32(m.AbsSum() / float64(len(m.Data)))
+	}
+	n := m.Rows * m.Cols
+	perWord := 64 / bits
+	q := &Quantized{
+		Rows: m.Rows, Cols: m.Cols, Bits: bits, Lo: -mx, Hi: mx,
+		ZeroCentered: true,
+		Packed:       make([]uint64, (n+perWord-1)/perWord),
+	}
+	if n == 0 || mx == 0 {
+		// All zeros: every id is 0, which decodes to level −mx = 0.
+		return q
+	}
+	levels := (1 << bits) - 1 // odd ⇒ the middle level is exactly 0
+	if bits == 1 {
+		levels = 2 // {−mx, +mx}: sign quantisation, no zero level
+	}
+	step := 2 * mx / float32(levels-1)
+	for i, v := range m.Data {
+		id := int((v+mx)/step + 0.5)
+		if id < 0 {
+			id = 0
+		} else if id >= levels {
+			id = levels - 1
+		}
+		q.Packed[i/perWord] |= uint64(id) << (uint(i%perWord) * uint(bits))
+	}
+	return q
+}
+
+// zeroCenteredValue returns the representative of level id for a
+// zero-centred Quantized.
+func (q *Quantized) zeroCenteredValue(id int) float32 {
+	levels := (1 << q.Bits) - 1
+	if q.Bits == 1 {
+		levels = 2
+	}
+	if q.Hi <= q.Lo {
+		return 0
+	}
+	step := (q.Hi - q.Lo) / float32(levels-1)
+	return q.Lo + float32(id)*step
+}

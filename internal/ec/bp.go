@@ -1,0 +1,143 @@
+package ec
+
+import (
+	"fmt"
+
+	"ecgraph/internal/compress"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+)
+
+// BackwardResponder holds the responding-end state of ResEC-BP for one
+// (layer, requester) pair: the residual δ of the previous iteration's
+// quantisation, added back before compressing the next round (Eqs. 11-12,
+// Alg. 6). This is classic error feedback applied to embedding gradients.
+type BackwardResponder struct {
+	delta *tensor.Matrix // δ^{l,t−1}; nil until the first response
+}
+
+// NewBackwardResponder returns fresh responder state (δ = 0).
+func NewBackwardResponder() *BackwardResponder { return &BackwardResponder{} }
+
+// Respond compensates the gradient rows g with the stored residual,
+// compresses the sum with the given bit width over its measured symmetric
+// domain (Alg. 6 line 4: gradients are not normalised into a unit ball),
+// updates δ per Eq. 11 and returns the wire payload. The zero-centred
+// gradient grid is used rather than bucket midpoints: loss gradients are
+// zero outside the training vertices, and a grid without an exact zero
+// level makes the error feedback oscillate on those rows (see
+// compress.CompressZeroCentered).
+func (r *BackwardResponder) Respond(g *tensor.Matrix, bits int) []byte {
+	cpt := g
+	if r.delta != nil {
+		cpt = g.Add(r.delta)
+	}
+	q := compress.CompressZeroCentered(cpt, bits) // M = C_bit[g + δ] (Eq. 12)
+	r.delta = cpt.Sub(q.Decompress())             // δ = (g + δ_prev) − C[g + δ_prev] (Eq. 11)
+
+	w := transport.NewWriter(2 + len(q.Packed)*8)
+	w.Byte(schemeCompress)
+	w.Quantized(q)
+	return w.Bytes()
+}
+
+// Residual returns the current residual matrix δ (nil before the first
+// response); read-only, for diagnostics like the Theorem 1 trace.
+func (r *BackwardResponder) Residual() *tensor.Matrix { return r.delta }
+
+// TopKResponder is the Top-K-with-memory alternative to BackwardResponder
+// (Stich et al., the paper's reference [32]): the same error-feedback loop,
+// but the compressor keeps the k largest-magnitude elements of g + δ
+// instead of quantising all of them. k is chosen to match the byte budget
+// of B-bit quantisation, so the two compensate arms are directly
+// comparable.
+type TopKResponder struct {
+	Bits  int // byte-budget reference
+	delta *tensor.Matrix
+}
+
+// NewTopKResponder returns fresh responder state budgeted against bits.
+func NewTopKResponder(bits int) *TopKResponder {
+	if !compress.IsValidBits(bits) {
+		panic(fmt.Sprintf("ec: invalid budget bits %d", bits))
+	}
+	return &TopKResponder{Bits: bits}
+}
+
+// Respond compensates g with the stored residual, sparsifies, updates δ and
+// returns the wire payload.
+func (r *TopKResponder) Respond(g *tensor.Matrix) []byte {
+	cpt := g
+	if r.delta != nil {
+		cpt = g.Add(r.delta)
+	}
+	k := compress.KForBudget(len(cpt.Data), r.Bits)
+	s := compress.TopK(cpt, k)
+	r.delta = cpt.Sub(s.Dense())
+
+	w := transport.NewWriter(2 + s.WireBytes())
+	w.Byte(schemeSparse)
+	w.Sparse(s)
+	return w.Bytes()
+}
+
+// ResidualNorm returns ‖δ‖₂.
+func (r *TopKResponder) ResidualNorm() float64 {
+	if r.delta == nil {
+		return 0
+	}
+	return r.delta.FrobeniusNorm()
+}
+
+// ResidualNorm returns ‖δ‖₂, the quantity Theorem 1 bounds.
+func (r *BackwardResponder) ResidualNorm() float64 {
+	if r.delta == nil {
+		return 0
+	}
+	return r.delta.FrobeniusNorm()
+}
+
+// RespondCompressOnly quantises m without compensation (the paper's Cp-fp
+// ablation arm; bucket quantiser of Fig. 3).
+func RespondCompressOnly(m *tensor.Matrix, bits int) []byte {
+	q := compress.Compress(m, bits)
+	w := transport.NewWriter(2 + len(q.Packed)*8)
+	w.Byte(schemeCompress)
+	w.Quantized(q)
+	return w.Bytes()
+}
+
+// RespondCompressOnlyGrad quantises gradient rows without compensation
+// (the Cp-bp arm) on the same zero-centred grid ResEC uses, so the
+// ablation isolates the compensation rather than the grid.
+func RespondCompressOnlyGrad(m *tensor.Matrix, bits int) []byte {
+	q := compress.CompressZeroCentered(m, bits)
+	w := transport.NewWriter(2 + len(q.Packed)*8)
+	w.Byte(schemeCompress)
+	w.Quantized(q)
+	return w.Bytes()
+}
+
+// RespondRaw ships m uncompressed (the Non-cp arm).
+func RespondRaw(m *tensor.Matrix) []byte {
+	w := transport.NewWriter(10 + len(m.Data)*4)
+	w.Byte(schemeRaw)
+	w.Matrix(m)
+	return w.Bytes()
+}
+
+// ParseMatrix decodes a payload produced by RespondRaw, RespondCompressOnly
+// or BackwardResponder.Respond.
+func ParseMatrix(payload []byte) *tensor.Matrix {
+	r := transport.NewReader(payload)
+	switch scheme := r.Byte(); scheme {
+	case schemeRaw:
+		return r.Matrix()
+	case schemeCompress:
+		return r.Quantized().Decompress()
+	case schemeSparse:
+		return r.Sparse().Dense()
+	default:
+		panic(fmt.Sprintf("ec: unexpected matrix scheme %d", scheme))
+	}
+}

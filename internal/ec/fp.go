@@ -1,0 +1,360 @@
+// Package ec implements the paper's error-compensated compression: the
+// requesting-end compensation for forward-propagation embeddings
+// (ReqEC-FP, §IV-B: trend groups, the three-way approximation selector and
+// the adaptive Bit-Tuner) and the responding-end compensation for
+// backward-propagation embedding gradients (ResEC-BP, §IV-C, Eqs. 11-12).
+//
+// The state machines here are pure with respect to the transport: they
+// consume and produce byte payloads via the transport codec, so the same
+// logic runs over the in-process network and real TCP. One
+// (ForwardResponder, ForwardRequester) pair exists per (layer, responding
+// worker, requesting worker) triple, always covering the same fixed vertex
+// rows; likewise for BackwardResponder.
+package ec
+
+import (
+	"fmt"
+
+	"ecgraph/internal/compress"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+)
+
+// Message scheme tags (first payload byte).
+const (
+	schemeRaw      = 0 // uncompressed matrix
+	schemeCompress = 1 // compression only, no compensation
+	schemeExact    = 2 // ReqEC trend boundary: exact H + changing-rate matrix
+	schemeSelected = 3 // ReqEC in-group: selector array + filtered compressed rows
+	schemeSparse   = 4 // Top-K sparsified matrix (with error feedback)
+)
+
+// Approximation ids in the selector array (§IV-B: "00, 01 and 10 for
+// compressed, predicted, and average").
+const (
+	SelCompressed = 0
+	SelPredicted  = 1
+	SelAverage    = 2
+)
+
+// RespondStats summarises one ReqEC response for the Bit-Tuner and the
+// communication accounting.
+type RespondStats struct {
+	Rows      int // vertices covered by this response
+	Predicted int // vertices for which the predicted approximation won
+	Exact     bool
+}
+
+// Granularity selects the scope at which the selector picks among the
+// three approximations. §IV-B: "There are three kinds of granularity ...
+// element-wise, vertex-wise and matrix-wise schemas. We use vertex-wise
+// approximations, which yields the best balance" — matrix-wise is provided
+// for the ablation benchmark.
+type Granularity int
+
+const (
+	// GranularityVertex selects per vertex row (the paper's choice).
+	GranularityVertex Granularity = iota
+	// GranularityMatrix selects one approximation for the whole message.
+	GranularityMatrix
+)
+
+// ForwardResponder holds the responding-end state of ReqEC-FP for one
+// (layer, requester) pair: the exact embeddings sent at the last trend
+// boundary and the changing-rate matrix M_cr derived from them (Alg. 4).
+type ForwardResponder struct {
+	Ttr         int
+	Granularity Granularity
+
+	hLast    *tensor.Matrix // exact rows at the previous trend boundary
+	mcr      *tensor.Matrix // (H_now − H_last)/Ttr
+	haveBase bool
+}
+
+// NewForwardResponder returns responder state with trend-group length ttr.
+func NewForwardResponder(ttr int) *ForwardResponder {
+	if ttr < 2 {
+		panic(fmt.Sprintf("ec: Ttr must be ≥ 2, got %d", ttr))
+	}
+	return &ForwardResponder{Ttr: ttr}
+}
+
+// Respond builds the reply payload for iteration t carrying the embedding
+// rows h (the requester's ghost rows, fixed order) compressed with the
+// given bit width. At trend boundaries (t mod Ttr == Ttr−1) it sends exact
+// embeddings plus M_cr; otherwise it evaluates the three approximations,
+// selects per vertex, and ships only what the requester cannot predict.
+func (r *ForwardResponder) Respond(h *tensor.Matrix, t, bits int) ([]byte, RespondStats) {
+	if (t+1)%r.Ttr == 0 {
+		return r.respondExact(h), RespondStats{Rows: h.Rows, Exact: true}
+	}
+	return r.respondSelected(h, t, bits)
+}
+
+func (r *ForwardResponder) respondExact(h *tensor.Matrix) []byte {
+	w := transport.NewWriter(2 + h.Rows*h.Cols*8)
+	w.Byte(schemeExact)
+	w.Matrix(h)
+	if r.haveBase {
+		// M_cr = (H_res − H_last)/Ttr (Alg. 4 line 4).
+		mcr := h.Sub(r.hLast).ScaleInPlace(1 / float32(r.Ttr))
+		w.Byte(1)
+		w.Matrix(mcr)
+		r.mcr = mcr
+	} else {
+		w.Byte(0)
+		r.mcr = tensor.New(h.Rows, h.Cols)
+	}
+	r.hLast = h.Clone()
+	r.haveBase = true
+	return w.Bytes()
+}
+
+func (r *ForwardResponder) respondSelected(h *tensor.Matrix, t, bits int) ([]byte, RespondStats) {
+	q := compress.Compress(h, bits)
+	cps := q.Decompress()
+
+	stats := RespondStats{Rows: h.Rows}
+	w := transport.NewWriter(2 + h.Rows*h.Cols)
+	w.Byte(schemeSelected)
+
+	if !r.haveBase {
+		// No trend baseline yet (first group of the run): only the
+		// compressed approximation exists. An all-compressed selector is
+		// encoded compactly as "no selector" (flag 0).
+		w.Byte(0)
+		w.Quantized(q)
+		return w.Bytes(), stats
+	}
+
+	// Ĥ_pdt = H_base + M_cr·(t mod Ttr + 1) (Eq. 7).
+	k := float32(t%r.Ttr + 1)
+	pdt := r.hLast.Add(r.mcr.Scale(k))
+	// Ĥ_avg = (Ĥ_pdt + Ĥ_cps)/2 (Eq. 9).
+	avg := pdt.Add(cps).ScaleInPlace(0.5)
+
+	if r.Granularity == GranularityMatrix {
+		return r.respondMatrixWise(h, cps, pdt, avg, q, w, stats)
+	}
+
+	// Per-vertex L1 distances (Eq. 10) and arg-min selection.
+	sel := make([]byte, h.Rows)
+	for v := 0; v < h.Rows; v++ {
+		dc := rowL1(h, cps, v)
+		dp := rowL1(h, pdt, v)
+		da := rowL1(h, avg, v)
+		best := SelCompressed
+		bd := dc
+		if dp < bd {
+			best, bd = SelPredicted, dp
+		}
+		if da < bd {
+			best = SelAverage
+		}
+		sel[v] = byte(best)
+		if best == SelPredicted {
+			stats.Predicted++
+		}
+	}
+
+	// Filter out predicted rows: they need no data on the wire (§IV-B
+	// "we do not need to send the compressed values").
+	keep := make([]int, 0, h.Rows)
+	for v, s := range sel {
+		if s != SelPredicted {
+			keep = append(keep, v)
+		}
+	}
+	filtered := compress.CompressWithRange(cps.GatherRows(keep), bits, q.Lo, q.Hi)
+
+	w.Byte(1)
+	w.Uint8s(packSelector(sel))
+	w.Uint32(uint32(len(sel)))
+	w.Quantized(filtered)
+	return w.Bytes(), stats
+}
+
+// respondMatrixWise picks one approximation for the entire message: a
+// single id byte plus, unless predicted wins, the compressed matrix.
+func (r *ForwardResponder) respondMatrixWise(h, cps, pdt, avg *tensor.Matrix, q *compress.Quantized, w *transport.Writer, stats RespondStats) ([]byte, RespondStats) {
+	dc := cps.Sub(h).AbsSum()
+	dp := pdt.Sub(h).AbsSum()
+	da := avg.Sub(h).AbsSum()
+	best := SelCompressed
+	bd := dc
+	if dp < bd {
+		best, bd = SelPredicted, dp
+	}
+	if da < bd {
+		best = SelAverage
+	}
+	w.Byte(2) // matrix-wise selector flag
+	w.Byte(byte(best))
+	w.Uint32(uint32(h.Rows))
+	if best == SelPredicted {
+		stats.Predicted = h.Rows
+	} else {
+		w.Quantized(q)
+	}
+	return w.Bytes(), stats
+}
+
+func rowL1(a, b *tensor.Matrix, row int) float64 {
+	ra, rb := a.Row(row), b.Row(row)
+	var sum float64
+	for i, v := range ra {
+		d := float64(v - rb[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}
+
+// packSelector packs 2-bit approximation ids, four per byte (the paper
+// ships 2 bits per vertex).
+func packSelector(sel []byte) []byte {
+	out := make([]byte, (len(sel)+3)/4)
+	for i, s := range sel {
+		out[i/4] |= (s & 3) << (uint(i%4) * 2)
+	}
+	return out
+}
+
+func unpackSelector(packed []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = (packed[i/4] >> (uint(i%4) * 2)) & 3
+	}
+	return out
+}
+
+// ForwardRequester mirrors ForwardResponder on the requesting end (Alg. 3):
+// it tracks the same trend baseline so predicted embeddings can be
+// reconstructed without any wire data.
+type ForwardRequester struct {
+	Ttr int
+
+	hBase    *tensor.Matrix
+	mcr      *tensor.Matrix
+	haveBase bool
+}
+
+// NewForwardRequester returns requester state with trend-group length ttr.
+func NewForwardRequester(ttr int) *ForwardRequester {
+	if ttr < 2 {
+		panic(fmt.Sprintf("ec: Ttr must be ≥ 2, got %d", ttr))
+	}
+	return &ForwardRequester{Ttr: ttr}
+}
+
+// Parse decodes a ReqEC-FP payload for iteration t into the reconstructed
+// ghost embedding rows.
+func (q *ForwardRequester) Parse(payload []byte, t int) *tensor.Matrix {
+	r := transport.NewReader(payload)
+	switch scheme := r.Byte(); scheme {
+	case schemeExact:
+		h := r.Matrix()
+		if r.Byte() == 1 {
+			q.mcr = r.Matrix()
+		} else {
+			q.mcr = tensor.New(h.Rows, h.Cols)
+		}
+		q.hBase = h.Clone()
+		q.haveBase = true
+		return h
+	case schemeSelected:
+		switch flag := r.Byte(); flag {
+		case 0:
+			// No selector: everything compressed.
+			return r.Quantized().Decompress()
+		case 2:
+			// Matrix-wise selector: one id for the whole message.
+			id := int(r.Byte())
+			n := int(r.Uint32())
+			var pdt *tensor.Matrix
+			if id != SelCompressed {
+				if !q.haveBase {
+					panic("ec: matrix-wise prediction before any trend baseline")
+				}
+				k := float32(t%q.Ttr + 1)
+				pdt = q.hBase.Add(q.mcr.Scale(k))
+				if pdt.Rows != n {
+					panic(fmt.Sprintf("ec: matrix-wise row mismatch %d vs %d", pdt.Rows, n))
+				}
+			}
+			switch id {
+			case SelPredicted:
+				return pdt
+			case SelCompressed:
+				return r.Quantized().Decompress()
+			case SelAverage:
+				return pdt.Add(r.Quantized().Decompress()).ScaleInPlace(0.5)
+			default:
+				panic(fmt.Sprintf("ec: invalid matrix-wise selector id %d", id))
+			}
+		case 1:
+			// Vertex-wise selector: fall through below.
+		default:
+			panic(fmt.Sprintf("ec: invalid selector flag %d", flag))
+		}
+		packed := r.Uint8s()
+		n := int(r.Uint32())
+		sel := unpackSelector(packed, n)
+		filtered := r.Quantized().Decompress()
+		if !q.haveBase {
+			panic("ec: selected payload with selector before any trend baseline")
+		}
+		k := float32(t%q.Ttr + 1)
+		pdt := q.hBase.Add(q.mcr.Scale(k))
+		out := tensor.New(n, pdt.Cols)
+		fi := 0
+		for v := 0; v < n; v++ {
+			switch sel[v] {
+			case SelPredicted:
+				copy(out.Row(v), pdt.Row(v))
+			case SelCompressed:
+				copy(out.Row(v), filtered.Row(fi))
+				fi++
+			case SelAverage:
+				prow, crow, orow := pdt.Row(v), filtered.Row(fi), out.Row(v)
+				for j := range orow {
+					orow[j] = (prow[j] + crow[j]) / 2
+				}
+				fi++
+			default:
+				panic(fmt.Sprintf("ec: invalid selector id %d", sel[v]))
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("ec: unexpected forward scheme %d", scheme))
+	}
+}
+
+// BitTuner adapts the compression bit width from the fraction of vertices
+// whose predicted approximation was selected (§IV-B): > 60 % predicted
+// means compression is too lossy → double B (cap 16); < 40 % means the
+// channel can afford fewer bits → halve B (floor 1).
+type BitTuner struct {
+	Bits int
+}
+
+// NewBitTuner starts at the given width, which must be on the menu.
+func NewBitTuner(bits int) *BitTuner {
+	if !compress.IsValidBits(bits) {
+		panic(fmt.Sprintf("ec: invalid initial bits %d", bits))
+	}
+	return &BitTuner{Bits: bits}
+}
+
+// Update applies the 60/40 rule to the observed predicted proportion.
+func (b *BitTuner) Update(propPredicted float64) {
+	switch {
+	case propPredicted > 0.6 && b.Bits < 16:
+		b.Bits *= 2
+	case propPredicted < 0.4 && b.Bits > 1:
+		b.Bits /= 2
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNamesCoverEveryPaperArtefact(t *testing.T) {
+	want := []string{"fig6", "fig7", "fig8", "table2", "table4", "table5", "fig9", "fig10", "fig11", "thm1", "gat"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		if Describe(n) == "" {
+			t.Fatalf("experiment %s has no description", n)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", Options{Out: &buf}); err == nil {
+		t.Fatalf("expected error for unknown experiment")
+	}
+}
+
+func TestRunRequiresWriter(t *testing.T) {
+	if err := Run("fig6", Options{}); err == nil {
+		t.Fatalf("expected error for missing writer")
+	}
+}
+
+// runQuick executes one experiment in quick mode and returns its output.
+func runQuick(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(name, Options{Quick: true, Out: &buf}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", name)
+	}
+	return out
+}
+
+func TestFig6Quick(t *testing.T) {
+	out := runQuick(t, "fig6")
+	for _, want := range []string{"Non-cp", "Cp-fp-1", "ReqEC-FP-1", "test accuracy per epoch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	out := runQuick(t, "fig7")
+	for _, want := range []string{"Cp-bp-1", "ResEC-BP-1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	out := runQuick(t, "fig8")
+	for _, want := range []string{"Non-cp", "ReqEC-adapt", "speedup", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	out := runQuick(t, "table2")
+	for _, want := range []string{"O(ḡ^L · d̄)", "cached floats", "avg epoch bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	out := runQuick(t, "table4")
+	for _, want := range []string{"DGL", "EC-Graph-S", "AliGraph-FG", "2-layer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	out := runQuick(t, "table5")
+	if !strings.Contains(out, "%") || !strings.Contains(out, "EC-Graph") {
+		t.Fatalf("table5 output malformed:\n%s", out)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	out := runQuick(t, "fig9")
+	for _, want := range []string{"preprocess", "EC-Graph speedup", "Non-cp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	out := runQuick(t, "fig10")
+	if !strings.Contains(out, "EC-Graph-S s/epoch") {
+		t.Fatalf("fig10 output malformed:\n%s", out)
+	}
+}
+
+func TestThm1Quick(t *testing.T) {
+	out := runQuick(t, "thm1")
+	for _, want := range []string{"Theorem 1 trace", "measured α", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("thm1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGATExperimentQuick(t *testing.T) {
+	out := runQuick(t, "gat")
+	for _, want := range []string{"Distributed GAT", "EC cuts GAT traffic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	out := runQuick(t, "fig11")
+	for _, want := range []string{"hash s/epoch", "metis s/epoch", "metis cut"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig11 output missing %q:\n%s", want, out)
+		}
+	}
+}

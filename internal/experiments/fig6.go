@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ecgraph/internal/core"
+	"ecgraph/internal/metrics"
+	"ecgraph/internal/worker"
+)
+
+func init() {
+	register("fig6", "FP convergence under compression-only vs ReqEC-FP across bit widths", runFig6)
+	register("fig7", "BP convergence under compression-only vs ResEC-BP across bit widths", runFig7)
+}
+
+// runFig6 reproduces Fig. 6: test accuracy per epoch for no compression,
+// compression-only (Cp-fp-i) and requesting-end compensation (ReqEC-FP-i)
+// at several bit widths, forward path only (BP stays raw).
+func runFig6(opt Options) error {
+	dsets := []string{"cora", "pubmed", "reddit"}
+	bits := []int{1, 2, 4, 8}
+	if opt.Quick {
+		dsets = []string{"cora"}
+		bits = []int{1, 4}
+	}
+	for _, ds := range dsets {
+		var series []metrics.Series
+		summary := metrics.NewTable(
+			fmt.Sprintf("Fig. 6 summary — %s (best test accuracy / best epoch)", ds),
+			"arm", "best test acc", "best epoch")
+
+		run := func(label string, opts worker.Options) error {
+			res, err := core.Train(engineConfig(ds, defaultLayers[ds], opts, opt.Quick))
+			if err != nil {
+				return fmt.Errorf("fig6 %s %s: %w", ds, label, err)
+			}
+			series = append(series, metrics.Series{Label: label, Values: testCurve(res)})
+			summary.AddRowStrings(label, fmt.Sprintf("%.4f", res.TestAccuracy), fmt.Sprintf("%d", res.BestEpoch))
+			return nil
+		}
+
+		if err := run("Non-cp", worker.Options{}); err != nil {
+			return err
+		}
+		for _, b := range bits {
+			if err := run(fmt.Sprintf("Cp-fp-%d", b), worker.Options{
+				FPScheme: worker.SchemeCompress, FPBits: b,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, b := range bits {
+			if err := run(fmt.Sprintf("ReqEC-FP-%d", b), worker.Options{
+				FPScheme: worker.SchemeEC, FPBits: b, Ttr: 10,
+			}); err != nil {
+				return err
+			}
+		}
+		metrics.RenderSeries(opt.Out, fmt.Sprintf("Fig. 6 — %s: test accuracy per epoch", ds), seriesStep(opt), series)
+		summary.Render(opt.Out)
+	}
+	return nil
+}
+
+// runFig7 reproduces Fig. 7: the backward-path analogue with Cp-bp-i and
+// ResEC-BP-i (FP stays raw).
+func runFig7(opt Options) error {
+	dsets := []string{"cora", "reddit"}
+	bits := []int{1, 2, 4}
+	if opt.Quick {
+		dsets = []string{"cora"}
+		bits = []int{1, 4}
+	}
+	for _, ds := range dsets {
+		var series []metrics.Series
+		summary := metrics.NewTable(
+			fmt.Sprintf("Fig. 7 summary — %s (best test accuracy / best epoch)", ds),
+			"arm", "best test acc", "best epoch")
+
+		run := func(label string, opts worker.Options) error {
+			res, err := core.Train(engineConfig(ds, defaultLayers[ds], opts, opt.Quick))
+			if err != nil {
+				return fmt.Errorf("fig7 %s %s: %w", ds, label, err)
+			}
+			series = append(series, metrics.Series{Label: label, Values: testCurve(res)})
+			summary.AddRowStrings(label, fmt.Sprintf("%.4f", res.TestAccuracy), fmt.Sprintf("%d", res.BestEpoch))
+			return nil
+		}
+
+		if err := run("Non-cp", worker.Options{}); err != nil {
+			return err
+		}
+		for _, b := range bits {
+			if err := run(fmt.Sprintf("Cp-bp-%d", b), worker.Options{
+				BPScheme: worker.SchemeCompress, BPBits: b,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, b := range bits {
+			if err := run(fmt.Sprintf("ResEC-BP-%d", b), worker.Options{
+				BPScheme: worker.SchemeEC, BPBits: b,
+			}); err != nil {
+				return err
+			}
+		}
+		metrics.RenderSeries(opt.Out, fmt.Sprintf("Fig. 7 — %s: test accuracy per epoch", ds), seriesStep(opt), series)
+		summary.Render(opt.Out)
+	}
+	return nil
+}
+
+func seriesStep(opt Options) int {
+	if opt.Quick {
+		return 3
+	}
+	return 5
+}

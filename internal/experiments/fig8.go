@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ecgraph/internal/core"
+	"ecgraph/internal/metrics"
+	"ecgraph/internal/worker"
+)
+
+func init() {
+	register("fig8", "ablation: convergence-time speedup and accuracy of each compression/compensation arm", runFig8)
+}
+
+// fig8Bits is the per-dataset bit configuration of §V-C
+// (Cp-fp / Cp-bp / ReqEC / ResEC). One deviation from the paper's values:
+// ResEC on ogbn-products uses 4 bits instead of 2 — on the synthetic preset
+// (8% training vertices, so extremely sparse output-layer gradients) 2-bit
+// error feedback delays gradients too long to converge, and the paper's own
+// §V-C methodology is to pick the bits at which the model converges. For
+// the same reason ogbn-papers (32 classes, heavy label noise) uses 8-bit
+// ResEC instead of 4.
+var fig8Bits = map[string][4]int{
+	"cora":          {2, 4, 1, 2},
+	"pubmed":        {4, 4, 2, 2},
+	"reddit":        {8, 8, 2, 4},
+	"ogbn-products": {16, 8, 2, 4},
+	"ogbn-papers":   {8, 8, 4, 8},
+}
+
+// runFig8 reproduces Fig. 8: for each dataset, the convergence-time speedup
+// over Non-cp (histogram) and the final test accuracy (line) of the
+// compression-only and error-compensated arms, plus the adaptive Bit-Tuner.
+func runFig8(opt Options) error {
+	dsets := []string{"cora", "pubmed", "reddit", "ogbn-products"}
+	if opt.Quick {
+		dsets = []string{"cora"}
+	}
+	for _, ds := range dsets {
+		bits := fig8Bits[ds]
+		layers := defaultLayers[ds]
+		table := metrics.NewTable(
+			fmt.Sprintf("Fig. 8 — %s ablation (speedup over Non-cp, test accuracy)", ds),
+			"arm", "bits", "conv epochs", "conv time", "speedup", "test acc")
+
+		type arm struct {
+			label string
+			bits  int
+			opts  worker.Options
+		}
+		arms := []arm{
+			{"Non-cp", 0, worker.Options{}},
+			{"Cp-fp", bits[0], worker.Options{FPScheme: worker.SchemeCompress, FPBits: bits[0]}},
+			{"Cp-bp", bits[1], worker.Options{BPScheme: worker.SchemeCompress, BPBits: bits[1]}},
+			{"ReqEC", bits[2], worker.Options{FPScheme: worker.SchemeEC, FPBits: bits[2], Ttr: 10}},
+			{"ResEC", bits[3], worker.Options{BPScheme: worker.SchemeEC, BPBits: bits[3]}},
+			{"ReqEC-adapt", bits[2], worker.Options{FPScheme: worker.SchemeEC, FPBits: bits[2], Ttr: 10, AdaptiveBits: true}},
+		}
+		// Convergence is measured against a single target shared by every
+		// arm — 99.5% of the uncompressed run's best validation accuracy —
+		// matching the paper's "converge to the near-optimal test accuracy"
+		// criterion and avoiding per-arm detector noise.
+		var base, target float64
+		for _, a := range arms {
+			res, err := core.Train(engineConfig(ds, layers, a.opts, opt.Quick))
+			if err != nil {
+				return fmt.Errorf("fig8 %s %s: %w", ds, a.label, err)
+			}
+			if a.label == "Non-cp" {
+				target = 0.995 * res.BestVal
+			}
+			convEpoch, conv := convergenceToTarget(res, target)
+			if a.label == "Non-cp" {
+				base = conv
+			}
+			table.AddRowStrings(
+				a.label,
+				fmt.Sprintf("%d", a.bits),
+				fmt.Sprintf("%d", convEpoch),
+				metrics.FormatSeconds(conv),
+				fmt.Sprintf("%.2fx", metrics.Speedup(base, conv)),
+				fmt.Sprintf("%.4f", res.TestAccuracy),
+			)
+		}
+		table.Render(opt.Out)
+	}
+	return nil
+}
+
+// convergenceToTarget returns the first epoch whose validation accuracy
+// reaches target and the cumulative simulated time through it; an arm that
+// never reaches the target is charged its full run.
+func convergenceToTarget(res *core.Result, target float64) (int, float64) {
+	var cum float64
+	for t, e := range res.Epochs {
+		cum += e.SimSeconds
+		if e.ValAcc >= target {
+			return t, cum
+		}
+	}
+	return -1, cum
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ecgraph/internal/baselines"
+	"ecgraph/internal/core"
+	"ecgraph/internal/metrics"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/partition"
+	"ecgraph/internal/worker"
+)
+
+func init() {
+	register("table2", "algorithm cost analysis: ML-centered vs EC-Graph memory/compute/communication", runTable2)
+	register("table4", "training time per epoch across systems, datasets and layer counts", runTable4)
+	register("table5", "test accuracy across systems and datasets", runTable5)
+}
+
+// ecBits is the per-dataset (ReqEC-FP, ResEC-BP) bit configuration used
+// wherever the paper reports plain "EC-Graph". The paper chooses these per
+// dataset "such that the models can converge to the near-optimal test
+// accuracy" (§V-C); applying that methodology to the reproduction's
+// synthetic presets lands on the paper's own values except for the OGBN
+// presets, whose sparser training signal needs 4-bit gradients
+// (EXPERIMENTS.md records the deviation).
+var ecBits = map[string][2]int{
+	"cora":          {2, 2},
+	"pubmed":        {2, 2},
+	"reddit":        {2, 4},
+	"ogbn-products": {4, 4},
+	"ogbn-papers":   {4, 8},
+}
+
+// ecGraphOptions is the full EC-Graph configuration (ReqEC-FP + ResEC-BP at
+// the fixed §V-C per-dataset bits). The adaptive Bit-Tuner is a separate
+// Fig. 8 arm (ReqEC-adapt), not part of the Table IV/V configuration.
+func ecGraphOptions(dataset string) worker.Options {
+	bits := ecBits[dataset]
+	return worker.Options{
+		FPScheme: worker.SchemeEC, FPBits: bits[0],
+		BPScheme: worker.SchemeEC, BPBits: bits[1],
+		Ttr: 10,
+	}
+}
+
+func blockConfig(dataset string, layers int, opt Options) baselines.BlockConfig {
+	return baselines.BlockConfig{
+		Dataset: load(dataset),
+		Kind:    nn.KindGCN,
+		Hidden:  hiddenFor(dataset, layers, opt.Quick),
+		Workers: clusterWorkers(opt.Quick),
+		Servers: 2,
+		Epochs:  epochsFor(dataset, opt.Quick),
+		LR:      0.01,
+		Seed:    1,
+	}
+}
+
+// timingEpochs is how many epochs the per-epoch-time measurements run.
+func timingEpochs(opt Options) int {
+	if opt.Quick {
+		return 3
+	}
+	return 5
+}
+
+// avgEpochSkipWarmup averages SimSeconds over all epochs but the first.
+func avgEpochSkipWarmup(res *core.Result) float64 {
+	if len(res.Epochs) <= 1 {
+		return res.AvgEpochSeconds()
+	}
+	var sum float64
+	for _, e := range res.Epochs[1:] {
+		sum += e.SimSeconds
+	}
+	return sum / float64(len(res.Epochs)-1)
+}
+
+// runTable2 reproduces Table II: the analytic memory/compute/communication
+// costs of ML-centered frameworks vs EC-Graph, checked against measured
+// counters from short runs of AliGraph-FG (ML-centered) and EC-Graph with
+// and without compression.
+func runTable2(opt Options) error {
+	ds := "ogbn-products"
+	if opt.Quick {
+		ds = "cora"
+	}
+	layers := defaultLayers[ds]
+
+	analytic := metrics.NewTable("Table II (analytic) — per-vertex asymptotic costs",
+		"cost", "ML-centered", "EC-Graph")
+	analytic.AddRowStrings("memory space", "O(ḡ^L · d̄)", "O(ḡ · d̄)")
+	analytic.AddRowStrings("computation", "O(ḡ^(L−1) · d̄²)", "O(L · d̄²)")
+	analytic.AddRowStrings("communication", "O(ḡ^L · d₀), once", "O(T·L·ḡ_rmt·d̄ / (32/B)) over training")
+	analytic.Render(opt.Out)
+
+	bcfg := blockConfig(ds, layers, opt)
+	bcfg.Epochs = timingEpochs(opt)
+	ml, err := baselines.AliGraphFG(bcfg)
+	if err != nil {
+		return fmt.Errorf("table2 AliGraph-FG: %w", err)
+	}
+	ecRaw, err := core.Train(withEpochs(engineConfig(ds, layers, worker.Options{}, opt.Quick), timingEpochs(opt)))
+	if err != nil {
+		return fmt.Errorf("table2 EC-Graph raw: %w", err)
+	}
+	bits := fig8Bits[ds]
+	ecCp, err := core.Train(withEpochs(engineConfig(ds, layers, worker.Options{
+		FPScheme: worker.SchemeEC, FPBits: bits[2],
+		BPScheme: worker.SchemeEC, BPBits: bits[3], Ttr: 10,
+	}, opt.Quick), timingEpochs(opt)))
+	if err != nil {
+		return fmt.Errorf("table2 EC-Graph ec: %w", err)
+	}
+
+	measured := metrics.NewTable(
+		fmt.Sprintf("Table II (measured) — %s, %d layers, %d workers", ds, layers, clusterWorkers(opt.Quick)),
+		"metric", "ML-centered (AliGraph-FG)", "EC-Graph (Non-cp)", "EC-Graph (EC)")
+	measured.AddRowStrings("cached floats (all workers)",
+		fmt.Sprintf("%d", sum64(ml.MemoryFloats)),
+		fmt.Sprintf("%d", sum64(ecRaw.MemoryFloats)),
+		fmt.Sprintf("%d", sum64(ecCp.MemoryFloats)))
+	measured.AddRowStrings("preprocessing comm time",
+		metrics.FormatSeconds(ml.PreprocessSeconds),
+		metrics.FormatSeconds(ecRaw.PreprocessSeconds),
+		metrics.FormatSeconds(ecCp.PreprocessSeconds))
+	measured.AddRowStrings("avg epoch bytes",
+		metrics.FormatBytes(ml.AvgEpochBytes()),
+		metrics.FormatBytes(ecRaw.AvgEpochBytes()),
+		metrics.FormatBytes(ecCp.AvgEpochBytes()))
+	measured.AddRowStrings("avg epoch time",
+		metrics.FormatSeconds(avgEpochSkipWarmup(ml)),
+		metrics.FormatSeconds(avgEpochSkipWarmup(ecRaw)),
+		metrics.FormatSeconds(avgEpochSkipWarmup(ecCp)))
+	measured.Render(opt.Out)
+	return nil
+}
+
+func sum64(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func withEpochs(cfg core.Config, epochs int) core.Config {
+	cfg.Epochs = epochs
+	return cfg
+}
+
+// table4Systems enumerates the Table IV rows. Cells the paper leaves "-"
+// (system cannot run that configuration on the authors' clusters) are
+// skipped for fidelity.
+type table4System struct {
+	name string
+	// skip reports whether the paper shows "-" for this cell.
+	skip func(dataset string, layers int) bool
+	run  func(dataset string, layers int, opt Options) (*core.Result, error)
+}
+
+func table4Rows() []table4System {
+	return []table4System{
+		{
+			name: "DGL",
+			skip: func(ds string, layers int) bool {
+				return ds == "ogbn-papers" || (ds == "ogbn-products" && layers == 4)
+			},
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				return baselines.Standalone(load(ds), nn.KindGCN, hiddenFor(ds, layers, opt.Quick),
+					timingEpochs(opt), 0.01, 1, baselines.KernelDGL), nil
+			},
+		},
+		{
+			name: "PyG",
+			skip: func(ds string, layers int) bool { return ds != "cora" && ds != "pubmed" },
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				return baselines.Standalone(load(ds), nn.KindGCN, hiddenFor(ds, layers, opt.Quick),
+					timingEpochs(opt), 0.01, 1, baselines.KernelPyG), nil
+			},
+		},
+		{
+			name: "DistGNN",
+			skip: func(ds string, layers int) bool { return ds == "ogbn-papers" },
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				return baselines.DistGNN(withEpochs(engineConfig(ds, layers, worker.Options{}, opt.Quick), timingEpochs(opt)), 5)
+			},
+		},
+		{
+			name: "EC-Graph",
+			skip: func(string, int) bool { return false },
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				return core.Train(withEpochs(engineConfig(ds, layers, ecGraphOptions(ds), opt.Quick), timingEpochs(opt)))
+			},
+		},
+		{
+			name: "DistDGL",
+			skip: func(ds string, layers int) bool { return ds == "ogbn-papers" },
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				cfg := blockConfig(ds, layers, opt)
+				cfg.Epochs = timingEpochs(opt)
+				return baselines.DistDGL(cfg, samplingFanouts(ds, layers))
+			},
+		},
+		{
+			name: "AGL",
+			skip: func(ds string, layers int) bool {
+				return ds == "ogbn-papers" || (ds == "ogbn-products" && layers == 4)
+			},
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				cfg := blockConfig(ds, layers, opt)
+				cfg.Epochs = timingEpochs(opt)
+				return baselines.AGL(cfg, samplingFanouts(ds, layers))
+			},
+		},
+		{
+			name: "AliGraph-FG",
+			skip: func(ds string, layers int) bool { return ds == "ogbn-papers" },
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				cfg := blockConfig(ds, layers, opt)
+				cfg.Epochs = timingEpochs(opt)
+				return baselines.AliGraphFG(cfg)
+			},
+		},
+		{
+			name: "EC-Graph-S",
+			skip: func(string, int) bool { return false },
+			run: func(ds string, layers int, opt Options) (*core.Result, error) {
+				cfg := blockConfig(ds, layers, opt)
+				cfg.Epochs = timingEpochs(opt)
+				return baselines.ECGraphS(cfg, samplingFanouts(ds, layers), 8)
+			},
+		},
+	}
+}
+
+// samplingFanouts returns Table IV's sampling ratios, extending the deepest
+// listed configuration when layers exceed the table (never happens for 2-4).
+func samplingFanouts(dataset string, layers int) []int {
+	return fanouts[dataset][layers]
+}
+
+// runTable4 reproduces Table IV: training time per epoch for every system
+// on every dataset at 2, 3 and 4 layers.
+func runTable4(opt Options) error {
+	dsets := []string{"cora", "pubmed", "reddit", "ogbn-products", "ogbn-papers"}
+	layersList := []int{2, 3, 4}
+	if opt.Quick {
+		dsets = []string{"cora"}
+		layersList = []int{2}
+	}
+	for _, ds := range dsets {
+		table := metrics.NewTable(
+			fmt.Sprintf("Table IV — %s: training time per epoch (simulated cluster seconds)", ds),
+			append([]string{"system"}, layerHeaders(layersList)...)...)
+		for _, sys := range table4Rows() {
+			row := []string{sys.name}
+			for _, layers := range layersList {
+				if sys.skip(ds, layers) {
+					row = append(row, "-")
+					continue
+				}
+				res, err := sys.run(ds, layers, opt)
+				if err != nil {
+					return fmt.Errorf("table4 %s %s %d-layer: %w", ds, sys.name, layers, err)
+				}
+				row = append(row, metrics.FormatSeconds(avgEpochSkipWarmup(res)))
+			}
+			table.AddRowStrings(row...)
+		}
+		table.Render(opt.Out)
+	}
+	return nil
+}
+
+func layerHeaders(layersList []int) []string {
+	out := make([]string, len(layersList))
+	for i, l := range layersList {
+		out[i] = fmt.Sprintf("%d-layer", l)
+	}
+	return out
+}
+
+// runTable5 reproduces Table V: converged test accuracy per system at the
+// paper's default depth for each dataset.
+func runTable5(opt Options) error {
+	dsets := []string{"cora", "pubmed", "reddit", "ogbn-products", "ogbn-papers"}
+	if opt.Quick {
+		dsets = []string{"cora"}
+	}
+	table := metrics.NewTable("Table V — test accuracy", append([]string{"system"}, dsets...)...)
+	for _, sys := range table4Rows() {
+		row := []string{sys.name}
+		for _, ds := range dsets {
+			layers := defaultLayers[ds]
+			if sys.skip(ds, layers) {
+				row = append(row, "-")
+				continue
+			}
+			res, err := runForAccuracy(sys, ds, layers, opt)
+			if err != nil {
+				return fmt.Errorf("table5 %s %s: %w", sys.name, ds, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", res.TestAccuracy*100))
+		}
+		table.AddRowStrings(row...)
+	}
+	table.Render(opt.Out)
+	return nil
+}
+
+// runForAccuracy reruns a system with the full convergence epoch budget
+// rather than the timing budget.
+func runForAccuracy(sys table4System, ds string, layers int, opt Options) (*core.Result, error) {
+	switch sys.name {
+	case "DGL":
+		return baselines.Standalone(load(ds), nn.KindGCN, hiddenFor(ds, layers, opt.Quick),
+			epochsFor(ds, opt.Quick), 0.01, 1, baselines.KernelDGL), nil
+	case "PyG":
+		return baselines.Standalone(load(ds), nn.KindGCN, hiddenFor(ds, layers, opt.Quick),
+			epochsFor(ds, opt.Quick), 0.01, 1, baselines.KernelPyG), nil
+	case "DistGNN":
+		return baselines.DistGNN(engineConfig(ds, layers, worker.Options{}, opt.Quick), 5)
+	case "EC-Graph":
+		return core.Train(engineConfig(ds, layers, ecGraphOptions(ds), opt.Quick))
+	case "DistDGL":
+		return baselines.DistDGL(blockConfig(ds, layers, opt), samplingFanouts(ds, layers))
+	case "AGL":
+		return baselines.AGL(blockConfig(ds, layers, opt), samplingFanouts(ds, layers))
+	case "AliGraph-FG":
+		return baselines.AliGraphFG(blockConfig(ds, layers, opt))
+	case "EC-Graph-S":
+		return baselines.ECGraphS(blockConfig(ds, layers, opt), samplingFanouts(ds, layers), 8)
+	default:
+		return nil, fmt.Errorf("unknown system %q", sys.name)
+	}
+}
+
+// runPartitionerBench exists for fig11 but lives here to share helpers.
+func partitionerByName(name string) partition.Partitioner {
+	p, err := partition.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

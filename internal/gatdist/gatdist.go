@@ -1,0 +1,290 @@
+// Package gatdist trains Graph Attention Networks on the EC-Graph runtime,
+// realising §III-B's claim that models beyond GCN integrate as long as they
+// exchange the same kinds of information: "GAT fetches embeddings from
+// in-neighbors in FP and embedding gradients from out-neighbors in BP."
+//
+// Forward propagation needs exactly the ghost-embedding gather the GCN
+// worker performs (attention logits are computed locally from the fetched
+// rows), so ReqEC-FP applies unchanged. Backward propagation is where GAT
+// differs: the gradient ∂L/∂P_j of a ghost vertex j accumulates
+// contributions on every worker whose owned vertices attend to j, so each
+// worker publishes its per-ghost partial gradients and the ghost's owner
+// gathers and sums them — the reverse of the forward gather, over the same
+// pair sets. ResEC-BP's error feedback applies to these partials unchanged.
+package gatdist
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ecgraph/internal/core"
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/ec"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/partition"
+	"ecgraph/internal/ps"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// RPC methods served by the GAT workers.
+const (
+	methodGetX   = "gat.getX"
+	methodGetH   = "gat.getH"
+	methodGetDP  = "gat.getDP"
+	methodLogits = "gat.logits"
+)
+
+// Config parameterises a distributed GAT run.
+type Config struct {
+	Dataset *datasets.Dataset
+	Hidden  []int
+	// Heads is the attention-head count per layer (default 1). Hidden dims
+	// must be divisible by it.
+	Heads       int
+	Workers     int
+	Servers     int
+	Partitioner partition.Partitioner
+	Epochs      int
+	LR          float64
+	Seed        int64
+
+	// FPScheme encodes ghost embeddings: raw, compress or EC (ReqEC-FP).
+	FPScheme worker.Scheme
+	FPBits   int
+	Ttr      int
+	// DPScheme encodes the backward partial gradients: raw, compress or EC
+	// (ResEC-BP error feedback).
+	DPScheme worker.Scheme
+	DPBits   int
+
+	Net  transport.Network
+	Cost transport.CostModel
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Dataset == nil {
+		return cfg, fmt.Errorf("gatdist: Config.Dataset is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{8}
+	}
+	if cfg.Heads <= 0 {
+		cfg.Heads = 1
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = partition.Hash{}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.01
+	}
+	if cfg.FPBits == 0 {
+		cfg.FPBits = 4
+	}
+	if cfg.DPBits == 0 {
+		cfg.DPBits = 4
+	}
+	if cfg.Ttr == 0 {
+		cfg.Ttr = 10
+	}
+	if cfg.Cost == (transport.CostModel{}) {
+		cfg.Cost = transport.GigabitEthernet()
+	}
+	return cfg, nil
+}
+
+// Train runs distributed GAT training and reports in core.Result form.
+func Train(c Config) (*core.Result, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Dataset
+	dims := append([]int{d.NumFeatures()}, cfg.Hidden...)
+	dims = append(dims, d.NumClasses)
+
+	res := &core.Result{ConvergedEpoch: -1}
+	preStart := time.Now()
+	adj := graph.Normalize(d.Graph)
+	assign := cfg.Partitioner.Partition(d.Graph, cfg.Workers)
+	res.PartitionStats = partition.Analyze(d.Graph, assign, cfg.Workers)
+	topo := worker.BuildTopology(d.Graph, assign, cfg.Workers)
+
+	net := cfg.Net
+	if net == nil {
+		net = transport.NewInProc(cfg.Workers + cfg.Servers)
+		defer net.Close()
+	}
+
+	template := nn.NewGATMultiHead(dims, cfg.Heads, cfg.Seed)
+	flat := template.FlattenParams()
+	ranges := ps.Ranges(len(flat), cfg.Servers)
+	serverNodes := make([]int, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		node := cfg.Workers + i
+		serverNodes[i] = node
+		net.Register(node, ps.NewServer(flat[ranges[i].Lo:ranges[i].Hi], cfg.LR, cfg.Workers).Handler())
+	}
+
+	nTrain := len(d.TrainIdx())
+	workers := make([]*gatWorker, cfg.Workers)
+	for i := range workers {
+		workers[i] = newGATWorker(&cfg, i, net, topo, adj, nn.NewGATMultiHead(dims, cfg.Heads, cfg.Seed),
+			ps.NewClient(net, i, serverNodes, ranges), nTrain)
+		net.Register(i, workers[i].handler())
+		res.MemoryFloats = append(res.MemoryFloats,
+			int64(workers[i].numOwned()+workers[i].numGhosts())*int64(d.NumFeatures()))
+	}
+	if err := runAll(workers, func(w *gatWorker) error { return w.fetchGhostFeatures() }); err != nil {
+		return nil, err
+	}
+	res.PreprocessSeconds = time.Since(preStart).Seconds() + maxComm(net, cfg.Cost, cfg.Workers+cfg.Servers)
+	net.ResetStats()
+
+	valIdx, testIdx := d.ValIdx(), d.TestIdx()
+	losses := make([]float64, cfg.Workers)
+	for t := 0; t < cfg.Epochs; t++ {
+		start := time.Now()
+		if err := runAllIdx(workers, func(i int, w *gatWorker) error {
+			var err error
+			losses[i], err = w.runEpoch(t)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		stats := core.EpochStats{RawComputeSeconds: wall, ComputeSeconds: wall / float64(cfg.Workers)}
+		var totalBytes, maxBytes, msgs int64
+		var maxCommT float64
+		for node := 0; node < cfg.Workers+cfg.Servers; node++ {
+			s := net.NodeStats(node)
+			totalBytes += s.BytesOut
+			msgs += s.Messages
+			if s.Total() > maxBytes {
+				maxBytes = s.Total()
+			}
+			if c := cfg.Cost.TimeFor(s); c > maxCommT {
+				maxCommT = c
+			}
+		}
+		stats.Bytes, stats.MaxNodeBytes, stats.Messages = totalBytes, maxBytes, msgs
+		stats.CommSeconds = maxCommT
+		stats.SimSeconds = stats.ComputeSeconds + stats.CommSeconds
+		var lossSum float64
+		for _, l := range losses {
+			lossSum += l
+		}
+		if nTrain > 0 {
+			stats.Loss = lossSum / float64(nTrain)
+		}
+
+		logits := tensor.New(d.Graph.N, d.NumClasses)
+		for i := range workers {
+			req := transport.NewWriter(4)
+			req.Uint32(uint32(t))
+			resp, err := net.Call(i, i, methodLogits, req.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			r := transport.NewReader(resp)
+			ids := r.Int32s()
+			m := r.Matrix()
+			for k, id := range ids {
+				copy(logits.Row(int(id)), m.Row(k))
+			}
+		}
+		stats.ValAcc = nn.Accuracy(logits, d.Labels, valIdx)
+		stats.TestAcc = nn.Accuracy(logits, d.Labels, testIdx)
+		net.ResetStats()
+
+		if stats.ValAcc > res.BestVal {
+			res.BestVal = stats.ValAcc
+			res.BestEpoch = t
+			res.TestAccuracy = stats.TestAcc
+		}
+		res.Epochs = append(res.Epochs, stats)
+	}
+	threshold := 0.995 * res.BestVal
+	var cum float64
+	for t, e := range res.Epochs {
+		cum += e.SimSeconds
+		if res.ConvergedEpoch == -1 && e.ValAcc >= threshold {
+			res.ConvergedEpoch = t
+			res.ConvergenceSimSeconds = cum
+		}
+	}
+	res.TotalSimSeconds = res.PreprocessSeconds + cum
+	return res, nil
+}
+
+func runAll(ws []*gatWorker, f func(*gatWorker) error) error {
+	return runAllIdx(ws, func(_ int, w *gatWorker) error { return f(w) })
+}
+
+func runAllIdx(ws []*gatWorker, f func(int, *gatWorker) error) error {
+	errs := make(chan error, len(ws))
+	for i, w := range ws {
+		go func(i int, w *gatWorker) { errs <- f(i, w) }(i, w)
+	}
+	var first error
+	for range ws {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func maxComm(net transport.Network, cost transport.CostModel, nodes int) float64 {
+	var worst float64
+	for node := 0; node < nodes; node++ {
+		if c := cost.TimeFor(net.NodeStats(node)); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// softmaxRowLoss computes −log p(label) and ∂L/∂Z for one logits row.
+func lossGradRow(row []float32, label int, inv float32, grow []float32) float64 {
+	mx := row[0]
+	for _, v := range row[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - mx))
+	}
+	logZ := float64(mx) + math.Log(sum)
+	for j, v := range row {
+		p := float32(math.Exp(float64(v)-logZ)) * inv
+		if j == label {
+			p -= inv
+		}
+		grow[j] = p
+	}
+	return logZ - float64(row[label])
+}
+
+// parseFP decodes a forward ghost payload per scheme.
+func parseFP(scheme worker.Scheme, req *ec.ForwardRequester, payload []byte, t int) *tensor.Matrix {
+	if scheme == worker.SchemeEC {
+		return req.Parse(payload, t)
+	}
+	return ec.ParseMatrix(payload)
+}

@@ -1,0 +1,160 @@
+package gatdist
+
+import (
+	"math"
+	"testing"
+
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+func baseConfig(epochs int) Config {
+	return Config{
+		Dataset: datasets.MustLoad("cora"),
+		Hidden:  []int{8},
+		Workers: 3,
+		Servers: 2,
+		Epochs:  epochs,
+		LR:      0.01,
+		Seed:    1,
+	}
+}
+
+// TestDistributedGATMatchesSingleMachine: with raw schemes, distributed GAT
+// must track single-machine GAT training (same seed, same optimiser) —
+// verifying the attention-partial exchange computes the exact gradients.
+func TestDistributedGATMatchesSingleMachine(t *testing.T) {
+	const epochs = 15
+	cfg := baseConfig(epochs)
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.Dataset
+	adj := graph.Normalize(d.Graph)
+	m := nn.NewGAT([]int{d.NumFeatures(), 8, d.NumClasses}, 1)
+	ref := nn.TrainGAT(m, adj, d.Features, d.Labels, d.TrainMask, d.ValIdx(), d.TestIdx(), epochs, 0.01)
+
+	for e := 0; e < epochs; e++ {
+		if math.Abs(res.Epochs[e].Loss-ref.LossHistory[e]) > 0.03*(1+ref.LossHistory[e]) {
+			t.Fatalf("epoch %d: distributed loss %v vs reference %v", e, res.Epochs[e].Loss, ref.LossHistory[e])
+		}
+	}
+	if math.Abs(res.BestVal-ref.BestVal) > 0.03 {
+		t.Fatalf("best val %v vs reference %v", res.BestVal, ref.BestVal)
+	}
+}
+
+func TestDistributedGATLearns(t *testing.T) {
+	cfg := baseConfig(30)
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.75 {
+		t.Fatalf("distributed GAT accuracy %.3f too low", res.TestAccuracy)
+	}
+}
+
+func TestDistributedGATWithECCompression(t *testing.T) {
+	cfg := baseConfig(30)
+	cfg.FPScheme = worker.SchemeEC
+	cfg.FPBits = 4
+	cfg.DPScheme = worker.SchemeEC
+	cfg.DPBits = 4
+	cfg.Ttr = 10
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy < 0.72 {
+		t.Fatalf("EC-compressed distributed GAT accuracy %.3f too low", res.TestAccuracy)
+	}
+}
+
+func TestGATCompressionReducesTraffic(t *testing.T) {
+	raw := baseConfig(3)
+	rawRes, err := Train(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := baseConfig(3)
+	cp.FPScheme = worker.SchemeCompress
+	cp.FPBits = 2
+	cp.DPScheme = worker.SchemeCompress
+	cp.DPBits = 2
+	cpRes, err := Train(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpRes.AvgEpochBytes() >= rawRes.AvgEpochBytes() {
+		t.Fatalf("compressed GAT traffic %.0f not below raw %.0f", cpRes.AvgEpochBytes(), rawRes.AvgEpochBytes())
+	}
+}
+
+func TestGATMissingDataset(t *testing.T) {
+	if _, err := Train(Config{}); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestGATSingleWorker(t *testing.T) {
+	cfg := baseConfig(5)
+	cfg.Workers = 1
+	cfg.Servers = 1
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[4].Loss >= res.Epochs[0].Loss {
+		t.Fatalf("single-worker GAT not learning")
+	}
+}
+
+// TestDistributedMultiHeadGATMatchesSingleMachine extends the exactness
+// check to 2 attention heads: head slicing, per-head partial gradients and
+// the shared ∂L/∂H exchange must all agree with the reference.
+func TestDistributedMultiHeadGATMatchesSingleMachine(t *testing.T) {
+	const epochs = 10
+	cfg := baseConfig(epochs)
+	cfg.Hidden = []int{8}
+	cfg.Heads = 2
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.Dataset
+	adj := graph.Normalize(d.Graph)
+	m := nn.NewGATMultiHead([]int{d.NumFeatures(), 8, d.NumClasses}, 2, 1)
+	ref := nn.TrainGAT(m, adj, d.Features, d.Labels, d.TrainMask, d.ValIdx(), d.TestIdx(), epochs, 0.01)
+	for e := 0; e < epochs; e++ {
+		if math.Abs(res.Epochs[e].Loss-ref.LossHistory[e]) > 0.03*(1+ref.LossHistory[e]) {
+			t.Fatalf("epoch %d: distributed loss %v vs reference %v", e, res.Epochs[e].Loss, ref.LossHistory[e])
+		}
+	}
+}
+
+func TestDistributedGATOverTCP(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Workers = 2
+	cfg.Servers = 1
+	net, err := transport.NewTCPCluster(cfg.Workers + cfg.Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	cfg.Net = net
+	cfg.FPScheme = worker.SchemeEC
+	cfg.FPBits = 4
+	cfg.Ttr = 5
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 || res.Epochs[0].Bytes == 0 {
+		t.Fatalf("TCP GAT run malformed: %d epochs, %d bytes", len(res.Epochs), res.Epochs[0].Bytes)
+	}
+}

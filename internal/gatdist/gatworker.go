@@ -1,0 +1,638 @@
+package gatdist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ecgraph/internal/ec"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/ps"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// store is a minimal (layer, epoch)-versioned publication point, the GAT
+// analogue of the GCN worker's matStore.
+type store struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	mats  []*tensor.Matrix
+	epoch []int
+}
+
+func newStore(layers int) *store {
+	s := &store{mats: make([]*tensor.Matrix, layers), epoch: make([]int, layers)}
+	for i := range s.epoch {
+		s.epoch[i] = -1
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *store) put(layer, epoch int, m *tensor.Matrix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mats[layer] = m
+	s.epoch[layer] = epoch
+	s.cond.Broadcast()
+}
+
+func (s *store) wait(layer, epoch int) *tensor.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.epoch[layer] < epoch {
+		s.cond.Wait()
+	}
+	if s.epoch[layer] > epoch {
+		panic(fmt.Sprintf("gatdist: layer %d epoch %d requested after %d published", layer, epoch, s.epoch[layer]))
+	}
+	return s.mats[layer]
+}
+
+// headTrace holds one head's forward intermediates in local indexing.
+type headTrace struct {
+	p     *tensor.Matrix // (owned+ghost) × dHead
+	alpha []float32      // per local edge
+	pre   []float32      // pre-LeakyReLU logits per local edge
+}
+
+// gatLayerTrace holds one layer's forward intermediates in local indexing.
+type gatLayerTrace struct {
+	hcat  *tensor.Matrix // (owned+ghost) × d_in
+	heads []*headTrace
+	z     *tensor.Matrix // owned × combined d_out
+}
+
+// gatWorker is one node of the distributed GAT runtime.
+type gatWorker struct {
+	cfg          *Config
+	id           int
+	net          transport.Network
+	topo         *worker.Topology
+	psc          *ps.Client
+	model        *nn.GATModel
+	nTrainGlobal int
+
+	owned      []int32
+	ownedPos   map[int32]int32
+	ghostIDs   []int32
+	ghostPos   map[int32]int32
+	ghostOwner []int
+	ghostBase  map[int]int
+
+	rowPtr []int32 // local CSR over owned rows (self-loops included)
+	colIdx []int32
+
+	x         *tensor.Matrix
+	ghostX    *tensor.Matrix
+	labels    []int
+	trainMask []bool
+	nTrain    int
+
+	pairRows [][]int32 // owned-row indices served to each requester
+
+	hStore  *store // owned H^l (layer L holds logits)
+	dpStore *store // ghost-block ∂L/∂P partials per layer
+
+	trace []*gatLayerTrace
+	ownH  []*tensor.Matrix
+
+	fpResp [][]*ec.ForwardResponder
+	fpReq  [][]*ec.ForwardRequester
+	dpResp [][]*ec.BackwardResponder // ResEC on the partial gradients
+}
+
+func newGATWorker(cfg *Config, id int, net transport.Network, topo *worker.Topology,
+	adj *graph.NormAdjacency, model *nn.GATModel, psc *ps.Client, nTrainGlobal int) *gatWorker {
+	d := cfg.Dataset
+	L := model.NumLayers()
+	w := &gatWorker{
+		cfg: cfg, id: id, net: net, topo: topo, psc: psc, model: model,
+		nTrainGlobal: nTrainGlobal,
+		owned:        topo.Owned[id],
+		ownedPos:     make(map[int32]int32),
+		ghostPos:     make(map[int32]int32),
+		ghostBase:    make(map[int]int),
+		hStore:       newStore(L + 1),
+		dpStore:      newStore(L + 1),
+		trace:        make([]*gatLayerTrace, L+1),
+		ownH:         make([]*tensor.Matrix, L+1),
+	}
+	for i, v := range w.owned {
+		w.ownedPos[v] = int32(i)
+	}
+	for j := 0; j < topo.NumWorkers; j++ {
+		lst := topo.Needs[id][j]
+		if len(lst) == 0 {
+			continue
+		}
+		w.ghostOwner = append(w.ghostOwner, j)
+		w.ghostBase[j] = len(w.ghostIDs)
+		for _, u := range lst {
+			w.ghostPos[u] = int32(len(w.ghostIDs))
+			w.ghostIDs = append(w.ghostIDs, u)
+		}
+	}
+	nOwned := len(w.owned)
+	w.rowPtr = make([]int32, nOwned+1)
+	for i, v := range w.owned {
+		for p := adj.RowPtr[v]; p < adj.RowPtr[v+1]; p++ {
+			u := adj.ColIdx[p]
+			var c int32
+			if pos, ok := w.ownedPos[u]; ok {
+				c = pos
+			} else if pos, ok := w.ghostPos[u]; ok {
+				c = int32(nOwned) + pos
+			} else {
+				panic(fmt.Sprintf("gatdist: worker %d: neighbour %d neither owned nor ghost", id, u))
+			}
+			w.colIdx = append(w.colIdx, c)
+		}
+		w.rowPtr[i+1] = int32(len(w.colIdx))
+	}
+
+	rows := make([]int, nOwned)
+	for i, v := range w.owned {
+		rows[i] = int(v)
+	}
+	w.x = d.Features.GatherRows(rows)
+	w.ownH[0] = w.x
+	w.labels = make([]int, nOwned)
+	w.trainMask = make([]bool, nOwned)
+	for i, v := range w.owned {
+		w.labels[i] = d.Labels[v]
+		w.trainMask[i] = d.TrainMask[v]
+		if w.trainMask[i] {
+			w.nTrain++
+		}
+	}
+	w.pairRows = make([][]int32, topo.NumWorkers)
+	for i := 0; i < topo.NumWorkers; i++ {
+		lst := topo.Needs[i][id]
+		if len(lst) == 0 {
+			continue
+		}
+		pr := make([]int32, len(lst))
+		for k, u := range lst {
+			pr[k] = w.ownedPos[u]
+		}
+		w.pairRows[i] = pr
+	}
+
+	w.fpResp = make([][]*ec.ForwardResponder, L+1)
+	w.fpReq = make([][]*ec.ForwardRequester, L+1)
+	w.dpResp = make([][]*ec.BackwardResponder, L+1)
+	if cfg.FPScheme == worker.SchemeEC {
+		for l := 1; l < L; l++ {
+			w.fpResp[l] = make([]*ec.ForwardResponder, topo.NumWorkers)
+			w.fpReq[l] = make([]*ec.ForwardRequester, topo.NumWorkers)
+			for i := range w.pairRows {
+				if w.pairRows[i] != nil {
+					w.fpResp[l][i] = ec.NewForwardResponder(cfg.Ttr)
+				}
+			}
+			for _, j := range w.ghostOwner {
+				w.fpReq[l][j] = ec.NewForwardRequester(cfg.Ttr)
+			}
+		}
+	}
+	if cfg.DPScheme == worker.SchemeEC {
+		for l := 2; l <= L; l++ {
+			w.dpResp[l] = make([]*ec.BackwardResponder, topo.NumWorkers)
+			for i := range w.pairRows {
+				if w.pairRows[i] != nil {
+					w.dpResp[l][i] = ec.NewBackwardResponder()
+				}
+			}
+		}
+	}
+	return w
+}
+
+func (w *gatWorker) numOwned() int  { return len(w.owned) }
+func (w *gatWorker) numGhosts() int { return len(w.ghostIDs) }
+
+func (w *gatWorker) fetchGhostFeatures() error {
+	w.ghostX = tensor.New(len(w.ghostIDs), w.cfg.Dataset.Features.Cols)
+	for _, j := range w.ghostOwner {
+		req := transport.NewWriter(4)
+		req.Int32(int32(w.id))
+		resp, err := w.net.Call(w.id, j, methodGetX, req.Bytes())
+		if err != nil {
+			return fmt.Errorf("gatdist: worker %d fetch features from %d: %w", w.id, j, err)
+		}
+		rows := ec.ParseMatrix(resp)
+		base := w.ghostBase[j]
+		for r := 0; r < rows.Rows; r++ {
+			copy(w.ghostX.Row(base+r), rows.Row(r))
+		}
+	}
+	return nil
+}
+
+// runEpoch executes one synchronous training iteration and returns the
+// local training-loss sum.
+// runEpoch executes one synchronous training iteration and returns the
+// local training-loss sum.
+func (w *gatWorker) runEpoch(t int) (float64, error) {
+	flat, err := w.psc.Pull(t)
+	if err != nil {
+		return 0, err
+	}
+	w.model.SetFlatParams(flat)
+	L := w.model.NumLayers()
+	nOwned := len(w.owned)
+
+	// ---- Forward ----
+	h := w.x
+	for l := 1; l <= L; l++ {
+		var ghost *tensor.Matrix
+		if l == 1 {
+			ghost = w.ghostX
+		} else {
+			ghost, err = w.fetchGhostH(l-1, t)
+			if err != nil {
+				return 0, err
+			}
+		}
+		tr := &gatLayerTrace{hcat: stack(h, ghost)}
+		layer := w.model.Layers[l-1]
+		dHead := layer.W[0].Cols
+		z := tensor.New(nOwned, layer.OutDim())
+		for k := range layer.W {
+			ht := w.headForward(tr.hcat, layer, k)
+			tr.heads = append(tr.heads, ht)
+			zk := w.headOutput(ht)
+			if layer.Concat {
+				for i := 0; i < nOwned; i++ {
+					copy(z.Row(i)[k*dHead:(k+1)*dHead], zk.Row(i))
+				}
+			} else {
+				z.AddScaledInPlace(zk, 1/float32(layer.Heads()))
+			}
+		}
+		z.AddRowVector(layer.Bias)
+		tr.z = z
+		w.trace[l] = tr
+		if l < L {
+			h = z.ReLU()
+		} else {
+			h = z
+		}
+		w.ownH[l] = h
+		w.hStore.put(l, t, h)
+	}
+
+	// ---- Loss gradient ----
+	var lossSum float64
+	logits := w.ownH[L]
+	g := tensor.New(logits.Rows, logits.Cols)
+	if w.nTrainGlobal > 0 {
+		inv := float32(1 / float64(w.nTrainGlobal))
+		for i := 0; i < logits.Rows; i++ {
+			if w.trainMask[i] {
+				lossSum += lossGradRow(logits.Row(i), w.labels[i], inv, g.Row(i))
+			}
+		}
+	}
+
+	// ---- Backward ----
+	grads := nn.NewGATGradients(w.model)
+	for l := L; l >= 1; l-- {
+		layer := w.model.Layers[l-1]
+		tr := w.trace[l]
+		gl := grads.Layers[l-1]
+		gl.Bias = g.ColSums()
+		nLocal := tr.hcat.Rows
+		dHead := layer.W[0].Cols
+
+		// dH accumulates ∂L/∂Hcat over all heads and all local rows.
+		dH := tensor.New(nLocal, tr.hcat.Cols)
+		for k := range layer.W {
+			gk := tensor.New(nOwned, dHead)
+			if layer.Concat {
+				for i := 0; i < nOwned; i++ {
+					copy(gk.Row(i), g.Row(i)[k*dHead:(k+1)*dHead])
+				}
+			} else {
+				gk = g.Scale(1 / float32(layer.Heads()))
+			}
+			dP := w.headBackward(tr, layer, k, gk, gl)
+			dH.AddInPlace(dP.MatMulT(layer.W[k]))
+		}
+
+		if l == 1 {
+			break
+		}
+		// Publish the ghost block of ∂L/∂H and gather the peers' partials
+		// for our owned rows — the reverse of the forward ghost gather.
+		ghostDH := tensor.New(len(w.ghostIDs), dH.Cols)
+		for r := 0; r < len(w.ghostIDs); r++ {
+			copy(ghostDH.Row(r), dH.Row(nOwned+r))
+		}
+		w.dpStore.put(l, t, ghostDH)
+
+		dhOwned := tensor.New(nOwned, dH.Cols)
+		for i := 0; i < nOwned; i++ {
+			copy(dhOwned.Row(i), dH.Row(i))
+		}
+		for peer, pr := range w.pairRows {
+			if pr == nil {
+				continue
+			}
+			req := transport.NewWriter(16)
+			req.Byte(byte(l))
+			req.Uint32(uint32(t))
+			req.Int32(int32(w.id))
+			resp, err := w.net.Call(w.id, peer, methodGetDP, req.Bytes())
+			if err != nil {
+				return 0, fmt.Errorf("gatdist: worker %d getDP from %d: %w", w.id, peer, err)
+			}
+			rows := ec.ParseMatrix(resp)
+			need := w.topo.Needs[peer][w.id]
+			for k, u := range need {
+				dst := dhOwned.Row(int(w.ownedPos[u]))
+				src := rows.Row(k)
+				for x := range dst {
+					dst[x] += src[x]
+				}
+			}
+		}
+		g = dhOwned.HadamardInPlace(w.trace[l-1].z.ReLUGrad())
+	}
+
+	if err := w.psc.Push(grads.Flatten()); err != nil {
+		return 0, err
+	}
+	return lossSum, nil
+}
+
+// headForward computes one head's attention over the worker's local rows:
+// P over owned+ghost rows, logits and softmax over the owned rows' edges.
+func (w *gatWorker) headForward(hcat *tensor.Matrix, layer *nn.GATLayer, k int) *headTrace {
+	p := hcat.MatMul(layer.W[k])
+	d := p.Cols
+	nOwned := len(w.owned)
+	nLocal := p.Rows
+	a1, a2 := layer.A1[k], layer.A2[k]
+	s := make([]float32, nOwned)
+	r := make([]float32, nLocal)
+	for c := 0; c < nLocal; c++ {
+		prow := p.Row(c)
+		var accR float32
+		for x := 0; x < d; x++ {
+			accR += a2[x] * prow[x]
+		}
+		r[c] = accR
+		if c < nOwned {
+			var accS float32
+			for x := 0; x < d; x++ {
+				accS += a1[x] * prow[x]
+			}
+			s[c] = accS
+		}
+	}
+	ht := &headTrace{
+		p:     p,
+		pre:   make([]float32, len(w.colIdx)),
+		alpha: make([]float32, len(w.colIdx)),
+	}
+	for i := 0; i < nOwned; i++ {
+		lo, hi := w.rowPtr[i], w.rowPtr[i+1]
+		mx := float32(-1e30)
+		for e := lo; e < hi; e++ {
+			pre := s[i] + r[w.colIdx[e]]
+			ht.pre[e] = pre
+			v := pre
+			if v < 0 {
+				v *= 0.2
+			}
+			ht.alpha[e] = v
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for e := lo; e < hi; e++ {
+			ex := exp32(ht.alpha[e] - mx)
+			ht.alpha[e] = ex
+			sum += float64(ex)
+		}
+		inv := float32(1 / sum)
+		for e := lo; e < hi; e++ {
+			ht.alpha[e] *= inv
+		}
+	}
+	return ht
+}
+
+// headOutput aggregates Z_ki = Σ_j α_ij P_kj over the owned rows.
+func (w *gatWorker) headOutput(ht *headTrace) *tensor.Matrix {
+	nOwned := len(w.owned)
+	d := ht.p.Cols
+	z := tensor.New(nOwned, d)
+	for i := 0; i < nOwned; i++ {
+		zrow := z.Row(i)
+		for e := w.rowPtr[i]; e < w.rowPtr[i+1]; e++ {
+			prow := ht.p.Row(int(w.colIdx[e]))
+			a := ht.alpha[e]
+			for x := 0; x < d; x++ {
+				zrow[x] += a * prow[x]
+			}
+		}
+	}
+	return z
+}
+
+// headBackward backpropagates one head over the local rows: accumulates
+// this worker's partial dW, dA1, dA2 into gl and returns the local partial
+// ∂L/∂P_k over all owned+ghost rows.
+func (w *gatWorker) headBackward(tr *gatLayerTrace, layer *nn.GATLayer, k int,
+	gk *tensor.Matrix, gl *nn.GATLayer) *tensor.Matrix {
+	ht := tr.heads[k]
+	nOwned := len(w.owned)
+	nLocal := ht.p.Rows
+	d := ht.p.Cols
+	dP := tensor.New(nLocal, d)
+	ds := make([]float32, nOwned)
+	dr := make([]float32, nLocal)
+	for i := 0; i < nOwned; i++ {
+		lo, hi := w.rowPtr[i], w.rowPtr[i+1]
+		grow := gk.Row(i)
+		var inner float64
+		dAlpha := make([]float32, hi-lo)
+		for e := lo; e < hi; e++ {
+			prow := ht.p.Row(int(w.colIdx[e]))
+			var dot float32
+			for x := 0; x < d; x++ {
+				dot += grow[x] * prow[x]
+			}
+			dAlpha[e-lo] = dot
+			inner += float64(ht.alpha[e]) * float64(dot)
+		}
+		for e := lo; e < hi; e++ {
+			j := int(w.colIdx[e])
+			a := ht.alpha[e]
+			dprow := dP.Row(j)
+			for x := 0; x < d; x++ {
+				dprow[x] += a * grow[x]
+			}
+			de := a * (dAlpha[e-lo] - float32(inner))
+			if ht.pre[e] < 0 {
+				de *= 0.2
+			}
+			ds[i] += de
+			dr[j] += de
+		}
+	}
+	a1, a2 := layer.A1[k], layer.A2[k]
+	gA1, gA2 := gl.A1[k], gl.A2[k]
+	for c := 0; c < nLocal; c++ {
+		prow := ht.p.Row(c)
+		dprow := dP.Row(c)
+		if c < nOwned {
+			for x := 0; x < d; x++ {
+				gA1[x] += ds[c] * prow[x]
+				dprow[x] += ds[c] * a1[x]
+			}
+		}
+		for x := 0; x < d; x++ {
+			gA2[x] += dr[c] * prow[x]
+			dprow[x] += dr[c] * a2[x]
+		}
+	}
+	gl.W[k].AddInPlace(tr.hcat.TMatMul(dP))
+	return dP
+}
+
+func (w *gatWorker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
+	if len(w.ghostIDs) == 0 {
+		return nil, nil
+	}
+	dim := w.model.Dims[l]
+	out := tensor.New(len(w.ghostIDs), dim)
+	for _, j := range w.ghostOwner {
+		req := transport.NewWriter(16)
+		req.Byte(byte(l))
+		req.Uint32(uint32(t))
+		req.Int32(int32(w.id))
+		resp, err := w.net.Call(w.id, j, methodGetH, req.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("gatdist: worker %d getH from %d: %w", w.id, j, err)
+		}
+		var rows *tensor.Matrix
+		if w.cfg.FPScheme == worker.SchemeEC {
+			rows = w.fpReq[l][j].Parse(resp, t)
+		} else {
+			rows = ec.ParseMatrix(resp)
+		}
+		base := w.ghostBase[j]
+		for r := 0; r < rows.Rows; r++ {
+			copy(out.Row(base+r), rows.Row(r))
+		}
+	}
+	return out, nil
+}
+
+func (w *gatWorker) handler() transport.Handler {
+	return func(method string, req []byte) (resp []byte, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("gatdist: worker %d: %s: %v", w.id, method, r)
+			}
+		}()
+		r := transport.NewReader(req)
+		switch method {
+		case methodGetX:
+			requester := int(r.Int32())
+			pr := w.pairRows[requester]
+			if pr == nil {
+				return nil, fmt.Errorf("gatdist: no pair set for %d", requester)
+			}
+			rows := make([]int, len(pr))
+			for k, p := range pr {
+				rows[k] = int(p)
+			}
+			return ec.RespondRaw(w.x.GatherRows(rows)), nil
+
+		case methodGetH:
+			l := int(r.Byte())
+			t := int(r.Uint32())
+			requester := int(r.Int32())
+			pr := w.pairRows[requester]
+			if pr == nil {
+				return nil, fmt.Errorf("gatdist: no pair set for %d", requester)
+			}
+			h := w.hStore.wait(l, t)
+			rows := make([]int, len(pr))
+			for k, p := range pr {
+				rows[k] = int(p)
+			}
+			m := h.GatherRows(rows)
+			switch w.cfg.FPScheme {
+			case worker.SchemeRaw:
+				return ec.RespondRaw(m), nil
+			case worker.SchemeCompress:
+				return ec.RespondCompressOnly(m, w.cfg.FPBits), nil
+			case worker.SchemeEC:
+				payload, _ := w.fpResp[l][requester].Respond(m, t, w.cfg.FPBits)
+				return payload, nil
+			default:
+				return nil, fmt.Errorf("gatdist: bad FP scheme %v", w.cfg.FPScheme)
+			}
+
+		case methodGetDP:
+			l := int(r.Byte())
+			t := int(r.Uint32())
+			owner := int(r.Int32())
+			base, ok := w.ghostBase[owner]
+			if !ok {
+				return nil, fmt.Errorf("gatdist: worker %d holds no ghosts of %d", w.id, owner)
+			}
+			ghostDP := w.dpStore.wait(l, t)
+			count := len(w.topo.Needs[w.id][owner])
+			block := tensor.New(count, ghostDP.Cols)
+			for k := 0; k < count; k++ {
+				copy(block.Row(k), ghostDP.Row(base+k))
+			}
+			switch w.cfg.DPScheme {
+			case worker.SchemeRaw:
+				return ec.RespondRaw(block), nil
+			case worker.SchemeCompress:
+				return ec.RespondCompressOnlyGrad(block, w.cfg.DPBits), nil
+			case worker.SchemeEC:
+				return w.dpResp[l][owner].Respond(block, w.cfg.DPBits), nil
+			default:
+				return nil, fmt.Errorf("gatdist: bad DP scheme %v", w.cfg.DPScheme)
+			}
+
+		case methodLogits:
+			t := int(r.Uint32())
+			logits := w.hStore.wait(w.model.NumLayers(), t)
+			out := transport.NewWriter(8 + len(w.owned)*4 + len(logits.Data)*4)
+			out.Int32s(w.owned)
+			out.Matrix(logits)
+			return out.Bytes(), nil
+
+		default:
+			return nil, fmt.Errorf("gatdist: unknown method %q", method)
+		}
+	}
+}
+
+func stack(owned, ghost *tensor.Matrix) *tensor.Matrix {
+	if ghost == nil || ghost.Rows == 0 {
+		return owned
+	}
+	out := tensor.New(owned.Rows+ghost.Rows, owned.Cols)
+	copy(out.Data[:len(owned.Data)], owned.Data)
+	copy(out.Data[len(owned.Data):], ghost.Data)
+	return out
+}
+
+func exp32(v float32) float32 {
+	return float32(math.Exp(float64(v)))
+}

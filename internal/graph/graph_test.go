@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecgraph/internal/tensor"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 0-2, 2-3
+func testGraph() *Graph {
+	return FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return FromEdges(n, edges)
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	g := testGraph()
+	if g.N != 4 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	wantDeg := []int{2, 2, 3, 1}
+	for v, d := range wantDeg {
+		if g.Degree(v) != d {
+			t.Fatalf("Degree(%d) = %d, want %d", v, g.Degree(v), d)
+		}
+	}
+	if got := g.AvgDegree(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("AvgDegree = %v, want 2", got)
+	}
+}
+
+func TestFromEdgesDropsDuplicatesAndSelfLoops(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {-1, 0}, {0, 5}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatalf("missing symmetric edge")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 2) {
+		t.Fatalf("unexpected edge present")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := FromEdges(5, [][2]int32{{3, 0}, {3, 4}, {3, 1}, {3, 2}})
+	nbrs := g.Neighbors(3)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("neighbors not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestNormalizeRowValues(t *testing.T) {
+	// Path graph 0-1: deg+1 = 2 for both. Â[0][0]=1/2, Â[0][1]=1/2.
+	g := FromEdges(2, [][2]int32{{0, 1}})
+	a := Normalize(g)
+	d := a.Dense()
+	want := tensor.FromSlice(2, 2, []float32{0.5, 0.5, 0.5, 0.5})
+	if !d.Equal(want, 1e-6) {
+		t.Fatalf("normalised adjacency wrong: %v", d)
+	}
+}
+
+func TestNormalizeSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(30), 40)
+		d := Normalize(g).Dense()
+		return d.Equal(d.T(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeSelfLoopPresent(t *testing.T) {
+	g := testGraph()
+	a := Normalize(g)
+	d := a.Dense()
+	for v := 0; v < g.N; v++ {
+		if d.At(v, v) <= 0 {
+			t.Fatalf("self-loop weight missing at %d", v)
+		}
+	}
+}
+
+func TestNormalizeColIdxSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 50, 300)
+	a := Normalize(g)
+	for v := 0; v < a.N; v++ {
+		row := a.ColIdx[a.RowPtr[v]:a.RowPtr[v+1]]
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				t.Fatalf("row %d not sorted: %v", v, row)
+			}
+		}
+	}
+}
+
+func TestSpMMMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, 3*n)
+		a := Normalize(g)
+		h := tensor.New(n, 1+rng.Intn(8))
+		for i := range h.Data {
+			h.Data[i] = float32(rng.NormFloat64())
+		}
+		return a.SpMM(h).Equal(a.Dense().MatMul(h), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMMParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 400, 4000)
+	a := Normalize(g)
+	h := tensor.New(400, 32)
+	for i := range h.Data {
+		h.Data[i] = float32(rng.NormFloat64())
+	}
+	if !a.SpMM(h).Equal(a.Dense().MatMul(h), 1e-3) {
+		t.Fatalf("parallel SpMM diverges from dense reference")
+	}
+}
+
+func TestSpMMRowsSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 30, 90)
+	a := Normalize(g)
+	h := tensor.New(30, 5)
+	for i := range h.Data {
+		h.Data[i] = float32(rng.NormFloat64())
+	}
+	full := a.SpMM(h)
+	rows := []int32{3, 7, 20}
+	sub := a.SpMMRows(h, rows)
+	for i, r := range rows {
+		for j := 0; j < 5; j++ {
+			if math.Abs(float64(sub.At(i, j)-full.At(int(r), j))) > 1e-6 {
+				t.Fatalf("SpMMRows row %d diverges", r)
+			}
+		}
+	}
+}
+
+func TestNormalizeRowSumsBounded(t *testing.T) {
+	// Rows of Â sum to ≤ 1 with equality on regular graphs.
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}}) // 4-cycle, 2-regular
+	d := Normalize(g).Dense()
+	for v := 0; v < 4; v++ {
+		var sum float64
+		for j := 0; j < 4; j++ {
+			sum += float64(d.At(v, j))
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("row %d of regular graph sums to %v", v, sum)
+		}
+	}
+}
+
+func TestLHopNeighborhood(t *testing.T) {
+	// Path 0-1-2-3-4
+	g := FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	cases := []struct {
+		l    int
+		want []int32
+	}{
+		{0, []int32{0}},
+		{1, []int32{0, 1}},
+		{2, []int32{0, 1, 2}},
+		{4, []int32{0, 1, 2, 3, 4}},
+		{10, []int32{0, 1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := g.LHopNeighborhood([]int32{0}, c.l)
+		if len(got) != len(c.want) {
+			t.Fatalf("l=%d: got %v, want %v", c.l, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("l=%d: got %v, want %v", c.l, got, c.want)
+			}
+		}
+	}
+}
+
+func TestLHopNeighborhoodDedupsSeeds(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}})
+	got := g.LHopNeighborhood([]int32{0, 0, 1}, 0)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want [0 1]", got)
+	}
+}
+
+func TestSampleAdjacencyFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 60, 600)
+	const fanout = 3
+	a := SampleAdjacency(g, fanout, rng)
+	for v := 0; v < g.N; v++ {
+		row := int(a.RowPtr[v+1] - a.RowPtr[v])
+		wantMax := fanout + 1
+		if d := g.Degree(v); d < fanout {
+			wantMax = d + 1
+		}
+		if row != wantMax {
+			t.Fatalf("vertex %d sampled row size %d, want %d", v, row, wantMax)
+		}
+		// Self-loop must be the first entry.
+		if a.ColIdx[a.RowPtr[v]] != int32(v) {
+			t.Fatalf("vertex %d missing self-loop", v)
+		}
+		// Weights sum to 1 (mean aggregator).
+		var sum float64
+		for p := a.RowPtr[v]; p < a.RowPtr[v+1]; p++ {
+			sum += float64(a.Val[p])
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("vertex %d weights sum to %v", v, sum)
+		}
+	}
+}
+
+func TestSampleAdjacencySamplesAreNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 40, 300)
+	a := SampleAdjacency(g, 5, rng)
+	for v := 0; v < g.N; v++ {
+		for p := a.RowPtr[v] + 1; p < a.RowPtr[v+1]; p++ {
+			if !g.HasEdge(v, int(a.ColIdx[p])) {
+				t.Fatalf("sampled non-neighbor %d for %d", a.ColIdx[p], v)
+			}
+		}
+	}
+}
+
+func TestSampleAdjacencyNoDuplicateSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 40, 400)
+	a := SampleAdjacency(g, 4, rng)
+	for v := 0; v < g.N; v++ {
+		seen := map[int32]bool{}
+		for p := a.RowPtr[v]; p < a.RowPtr[v+1]; p++ {
+			if seen[a.ColIdx[p]] {
+				t.Fatalf("duplicate sample %d for vertex %d", a.ColIdx[p], v)
+			}
+			seen[a.ColIdx[p]] = true
+		}
+	}
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 5000, 50000)
+	a := Normalize(g)
+	h := tensor.New(5000, 64)
+	for i := range h.Data {
+		h.Data[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SpMM(h)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 5000, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(g)
+	}
+}
+
+func TestGINAdjacency(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	a := GINAdjacency(g, 0.5)
+	d := a.Dense()
+	// Self weights 1+ε, edges 1.
+	for v := 0; v < 3; v++ {
+		if math.Abs(float64(d.At(v, v))-1.5) > 1e-6 {
+			t.Fatalf("self weight at %d = %v", v, d.At(v, v))
+		}
+	}
+	if d.At(0, 1) != 1 || d.At(1, 2) != 1 || d.At(0, 2) != 0 {
+		t.Fatalf("edge weights wrong: %v", d)
+	}
+	if !d.Equal(d.T(), 1e-6) {
+		t.Fatalf("GIN operator not symmetric")
+	}
+}
+
+func TestGINAdjacencySumAggregation(t *testing.T) {
+	// S·H row v = (1+ε)h_v + Σ neighbours.
+	g := FromEdges(3, [][2]int32{{0, 1}, {0, 2}})
+	a := GINAdjacency(g, 0)
+	h := tensor.FromSlice(3, 1, []float32{1, 10, 100})
+	out := a.SpMM(h)
+	if out.At(0, 0) != 111 || out.At(1, 0) != 11 || out.At(2, 0) != 101 {
+		t.Fatalf("sum aggregation wrong: %v", out)
+	}
+}

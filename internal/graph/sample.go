@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// SampleAdjacency builds a row-normalised adjacency over a sampled
+// neighbourhood: each vertex keeps at most fanout of its neighbours (chosen
+// uniformly without replacement) plus a self-loop, with mean-aggregator
+// weights 1/(k+1). This is the per-layer sampling used by the
+// sampling-based trainers (DistDGL-style online sampling resamples every
+// iteration; AGL-style pre-sampling samples once).
+func SampleAdjacency(g *Graph, fanout int, rng *rand.Rand) *NormAdjacency {
+	n := g.N
+	rowPtr := make([]int32, n+1)
+	// First pass: sizes.
+	for v := 0; v < n; v++ {
+		k := g.Degree(v)
+		if k > fanout {
+			k = fanout
+		}
+		rowPtr[v+1] = rowPtr[v] + int32(k) + 1
+	}
+	colIdx := make([]int32, rowPtr[n])
+	val := make([]float32, rowPtr[n])
+	scratch := make([]int32, 0, 256)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		out := rowPtr[v]
+		k := len(nbrs)
+		if k > fanout {
+			k = fanout
+		}
+		w := float32(1) / float32(k+1)
+		colIdx[out] = int32(v)
+		val[out] = w
+		out++
+		if len(nbrs) <= fanout {
+			for _, u := range nbrs {
+				colIdx[out] = u
+				val[out] = w
+				out++
+			}
+		} else {
+			// Reservoir-free partial Fisher–Yates over a scratch copy.
+			scratch = scratch[:0]
+			scratch = append(scratch, nbrs...)
+			for i := 0; i < fanout; i++ {
+				j := i + rng.Intn(len(scratch)-i)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+				colIdx[out] = scratch[i]
+				val[out] = w
+				out++
+			}
+		}
+	}
+	return &NormAdjacency{N: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}

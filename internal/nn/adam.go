@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam is the elementwise Adam optimiser over a flat parameter vector. The
+// paper's servers run Adam on the globally summed gradients (Alg. 2 line 3);
+// operating on flat vectors lets each parameter server own a contiguous
+// range with independent moment state.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	m, v []float64 // first/second moment estimates
+	t    int       // timestep
+}
+
+// NewAdam returns an Adam optimiser with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8) for a parameter vector of length n.
+func NewAdam(lr float64, n int) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, m: make([]float64, n), v: make([]float64, n)}
+}
+
+// Len returns the parameter-vector length this optimiser was sized for.
+func (a *Adam) Len() int { return len(a.m) }
+
+// Step applies one Adam update to w in place given gradient g.
+func (a *Adam) Step(w, g []float32) {
+	if len(w) != len(a.m) || len(g) != len(a.m) {
+		panic(fmt.Sprintf("nn: Adam.Step length mismatch w=%d g=%d state=%d", len(w), len(g), len(a.m)))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range w {
+		gi := float64(g[i])
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*gi
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*gi*gi
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		w[i] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Eps))
+	}
+}

@@ -1,0 +1,430 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ecgraph/internal/graph"
+	"ecgraph/internal/tensor"
+)
+
+// GAT support. §III-B notes EC-Graph extends beyond GCN: "Graph Attention
+// Networks (GAT) fetches embeddings from in-neighbors in FP and embedding
+// gradients from out-neighbors in BP" — the same communication topology the
+// engine already provides. This file implements the model itself
+// (multi-head GAT layers with manual backprop, verified against numerical
+// gradients in gat_test.go); internal/gatdist runs it distributed.
+//
+// Per head k (Velickovic et al. 2018, self-loops included):
+//
+//	P_k   = H·W_k
+//	e_ij  = LeakyReLU(a1_k·P_ki + a2_k·P_kj)   j ∈ N(i) ∪ {i}
+//	α_i·  = softmax_j(e_ij)
+//	Z_ki  = Σ_j α_ij · P_kj
+//
+// Hidden layers concatenate the K head outputs (out dim = K·dHead) and
+// apply ReLU; the output layer averages heads and emits raw logits. A
+// shared bias is added to the combined output.
+
+// leakySlope is the negative-side slope of LeakyReLU in the attention.
+const leakySlope = 0.2
+
+// GATLayer holds one attention layer's parameters across its heads.
+type GATLayer struct {
+	// W[k] is the in×dHead transform of head k.
+	W []*tensor.Matrix
+	// A1[k], A2[k] are head k's attention halves (target and source).
+	A1, A2 [][]float32
+	// Bias has the combined output dimension (K·dHead when concatenating,
+	// dHead when averaging).
+	Bias []float32
+	// Concat selects head combination: concatenate (hidden layers) or
+	// average (output layer).
+	Concat bool
+}
+
+// Heads returns the head count.
+func (l *GATLayer) Heads() int { return len(l.W) }
+
+// OutDim returns the layer's combined output dimension.
+func (l *GATLayer) OutDim() int {
+	if l.Concat {
+		return len(l.W) * l.W[0].Cols
+	}
+	return l.W[0].Cols
+}
+
+// GATModel is a stack of multi-head GAT layers.
+type GATModel struct {
+	Layers []*GATLayer
+	// Dims are the combined layer widths: [input, hidden... , classes],
+	// where hidden entries are the post-concatenation widths.
+	Dims []int
+}
+
+// NewGAT builds a single-head GAT (heads = 1 on every layer).
+func NewGAT(dims []int, seed int64) *GATModel { return NewGATMultiHead(dims, 1, seed) }
+
+// NewGATMultiHead builds a GAT with `heads` attention heads per layer.
+// Hidden dims must be divisible by heads (they are post-concat widths);
+// the output layer averages its heads onto the class dimension.
+func NewGATMultiHead(dims []int, heads int, seed int64) *GATModel {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("nn: need at least 2 dims, got %v", dims))
+	}
+	if heads < 1 {
+		panic(fmt.Sprintf("nn: need at least 1 head, got %d", heads))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &GATModel{Dims: append([]int(nil), dims...)}
+	for l := 0; l+1 < len(dims); l++ {
+		out := dims[l+1]
+		last := l+2 == len(dims)
+		dHead := out
+		if !last {
+			if out%heads != 0 {
+				panic(fmt.Sprintf("nn: hidden dim %d not divisible by %d heads", out, heads))
+			}
+			dHead = out / heads
+		}
+		layer := &GATLayer{Concat: !last, Bias: make([]float32, out)}
+		bound := float32(math.Sqrt(3 / float64(dHead)))
+		for k := 0; k < heads; k++ {
+			layer.W = append(layer.W, glorot(rng, dims[l], dHead))
+			a1 := make([]float32, dHead)
+			a2 := make([]float32, dHead)
+			for i := range a1 {
+				a1[i] = (rng.Float32()*2 - 1) * bound
+				a2[i] = (rng.Float32()*2 - 1) * bound
+			}
+			layer.A1 = append(layer.A1, a1)
+			layer.A2 = append(layer.A2, a2)
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	return m
+}
+
+// NumLayers returns the number of GAT layers.
+func (m *GATModel) NumLayers() int { return len(m.Layers) }
+
+// ParamCount returns the number of scalar parameters.
+func (m *GATModel) ParamCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		for k := range l.W {
+			n += len(l.W[k].Data) + len(l.A1[k]) + len(l.A2[k])
+		}
+		n += len(l.Bias)
+	}
+	return n
+}
+
+// FlattenParams serialises parameters (per layer, per head: W, A1, A2;
+// then the layer bias).
+func (m *GATModel) FlattenParams() []float32 {
+	out := make([]float32, 0, m.ParamCount())
+	for _, l := range m.Layers {
+		for k := range l.W {
+			out = append(out, l.W[k].Data...)
+			out = append(out, l.A1[k]...)
+			out = append(out, l.A2[k]...)
+		}
+		out = append(out, l.Bias...)
+	}
+	return out
+}
+
+// SetFlatParams loads a vector produced by FlattenParams.
+func (m *GATModel) SetFlatParams(flat []float32) {
+	if len(flat) != m.ParamCount() {
+		panic(fmt.Sprintf("nn: SetFlatParams length %d != %d", len(flat), m.ParamCount()))
+	}
+	off := 0
+	for _, l := range m.Layers {
+		for k := range l.W {
+			off += copy(l.W[k].Data, flat[off:off+len(l.W[k].Data)])
+			off += copy(l.A1[k], flat[off:off+len(l.A1[k])])
+			off += copy(l.A2[k], flat[off:off+len(l.A2[k])])
+		}
+		off += copy(l.Bias, flat[off:off+len(l.Bias)])
+	}
+}
+
+// headState caches one head's forward intermediates.
+type headState struct {
+	p     *tensor.Matrix // H·W_k
+	alpha []float32      // per edge (CSR order)
+	pre   []float32      // pre-LeakyReLU logits per edge
+}
+
+// gatLayerState caches one layer's forward intermediates for backprop.
+type gatLayerState struct {
+	h     *tensor.Matrix // layer input
+	heads []*headState
+	z     *tensor.Matrix // combined pre-activation output
+}
+
+// GATActivations is the forward trace used by Backward.
+type GATActivations struct {
+	states []*gatLayerState
+	Out    *tensor.Matrix // final logits
+}
+
+// Forward runs the GAT forward pass over the self-looped structure of adj
+// (its values are ignored; attention computes its own weights).
+func (m *GATModel) Forward(adj *graph.NormAdjacency, x *tensor.Matrix) *GATActivations {
+	acts := &GATActivations{}
+	h := x
+	for li, layer := range m.Layers {
+		st := &gatLayerState{h: h}
+		n := adj.N
+		dHead := layer.W[0].Cols
+		z := tensor.New(n, layer.OutDim())
+		for k := range layer.W {
+			hs := attentionForward(adj, h, layer.W[k], layer.A1[k], layer.A2[k])
+			st.heads = append(st.heads, hs)
+			// Combine this head's output into z.
+			zk := headOutput(adj, hs)
+			if layer.Concat {
+				for v := 0; v < n; v++ {
+					copy(z.Row(v)[k*dHead:(k+1)*dHead], zk.Row(v))
+				}
+			} else {
+				z.AddScaledInPlace(zk, 1/float32(layer.Heads()))
+			}
+		}
+		z.AddRowVector(layer.Bias)
+		st.z = z
+		acts.states = append(acts.states, st)
+		if li == len(m.Layers)-1 {
+			h = z
+		} else {
+			h = z.ReLU()
+		}
+	}
+	acts.Out = h
+	return acts
+}
+
+// attentionForward computes one head's P, attention logits and softmax
+// coefficients.
+func attentionForward(adj *graph.NormAdjacency, h, w *tensor.Matrix, a1, a2 []float32) *headState {
+	p := h.MatMul(w)
+	n := adj.N
+	d := p.Cols
+	s := make([]float32, n)
+	r := make([]float32, n)
+	for v := 0; v < n; v++ {
+		row := p.Row(v)
+		var accS, accR float32
+		for k := 0; k < d; k++ {
+			accS += a1[k] * row[k]
+			accR += a2[k] * row[k]
+		}
+		s[v], r[v] = accS, accR
+	}
+	hs := &headState{
+		p:     p,
+		pre:   make([]float32, len(adj.ColIdx)),
+		alpha: make([]float32, len(adj.ColIdx)),
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := adj.RowPtr[i], adj.RowPtr[i+1]
+		mx := float32(math.Inf(-1))
+		for e := lo; e < hi; e++ {
+			pre := s[i] + r[adj.ColIdx[e]]
+			hs.pre[e] = pre
+			v := pre
+			if v < 0 {
+				v *= leakySlope
+			}
+			hs.alpha[e] = v
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for e := lo; e < hi; e++ {
+			ex := float32(math.Exp(float64(hs.alpha[e] - mx)))
+			hs.alpha[e] = ex
+			sum += float64(ex)
+		}
+		inv := float32(1 / sum)
+		for e := lo; e < hi; e++ {
+			hs.alpha[e] *= inv
+		}
+	}
+	return hs
+}
+
+// headOutput aggregates Z_ki = Σ_j α_ij P_kj for one head.
+func headOutput(adj *graph.NormAdjacency, hs *headState) *tensor.Matrix {
+	n := adj.N
+	d := hs.p.Cols
+	z := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		zrow := z.Row(i)
+		for e := adj.RowPtr[i]; e < adj.RowPtr[i+1]; e++ {
+			prow := hs.p.Row(int(adj.ColIdx[e]))
+			a := hs.alpha[e]
+			for k := 0; k < d; k++ {
+				zrow[k] += a * prow[k]
+			}
+		}
+	}
+	return z
+}
+
+// GATGradients mirrors GATModel's parameter layout.
+type GATGradients struct {
+	Layers []*GATLayer
+}
+
+// Flatten serialises gradients in FlattenParams order.
+func (g *GATGradients) Flatten() []float32 {
+	var out []float32
+	for _, l := range g.Layers {
+		for k := range l.W {
+			out = append(out, l.W[k].Data...)
+			out = append(out, l.A1[k]...)
+			out = append(out, l.A2[k]...)
+		}
+		out = append(out, l.Bias...)
+	}
+	return out
+}
+
+// NewGATGradients allocates zeroed gradients shaped like m.
+func NewGATGradients(m *GATModel) *GATGradients {
+	g := &GATGradients{}
+	for _, l := range m.Layers {
+		gl := &GATLayer{Concat: l.Concat, Bias: make([]float32, len(l.Bias))}
+		for k := range l.W {
+			gl.W = append(gl.W, tensor.New(l.W[k].Rows, l.W[k].Cols))
+			gl.A1 = append(gl.A1, make([]float32, len(l.A1[k])))
+			gl.A2 = append(gl.A2, make([]float32, len(l.A2[k])))
+		}
+		g.Layers = append(g.Layers, gl)
+	}
+	return g
+}
+
+// attentionBackward backpropagates one head: given gk = ∂L/∂Z_k (this
+// head's share of the combined gradient), it accumulates dW, dA1, dA2 into
+// gl at head index k and returns ∂L/∂H from this head.
+func attentionBackward(adj *graph.NormAdjacency, h *tensor.Matrix, layer *GATLayer, k int,
+	hs *headState, gk *tensor.Matrix, gl *GATLayer) *tensor.Matrix {
+	n := adj.N
+	d := hs.p.Cols
+	dP := tensor.New(n, d)
+	ds := make([]float32, n)
+	dr := make([]float32, n)
+	for i := 0; i < n; i++ {
+		lo, hi := adj.RowPtr[i], adj.RowPtr[i+1]
+		grow := gk.Row(i)
+		var inner float64
+		dAlpha := make([]float32, hi-lo)
+		for e := lo; e < hi; e++ {
+			prow := hs.p.Row(int(adj.ColIdx[e]))
+			var dot float32
+			for x := 0; x < d; x++ {
+				dot += grow[x] * prow[x]
+			}
+			dAlpha[e-lo] = dot
+			inner += float64(hs.alpha[e]) * float64(dot)
+		}
+		for e := lo; e < hi; e++ {
+			j := int(adj.ColIdx[e])
+			a := hs.alpha[e]
+			dprow := dP.Row(j)
+			for x := 0; x < d; x++ {
+				dprow[x] += a * grow[x]
+			}
+			de := a * (dAlpha[e-lo] - float32(inner))
+			if hs.pre[e] < 0 {
+				de *= leakySlope
+			}
+			ds[i] += de
+			dr[j] += de
+		}
+	}
+	a1, a2 := layer.A1[k], layer.A2[k]
+	gA1, gA2 := gl.A1[k], gl.A2[k]
+	for v := 0; v < n; v++ {
+		prow := hs.p.Row(v)
+		dprow := dP.Row(v)
+		for x := 0; x < d; x++ {
+			gA1[x] += ds[v] * prow[x]
+			gA2[x] += dr[v] * prow[x]
+			dprow[x] += ds[v]*a1[x] + dr[v]*a2[x]
+		}
+	}
+	gl.W[k].AddInPlace(h.TMatMul(dP))
+	return dP.MatMulT(layer.W[k])
+}
+
+// Backward computes parameter gradients given gradOut = ∂L/∂Z^L.
+func (m *GATModel) Backward(adj *graph.NormAdjacency, acts *GATActivations, gradOut *tensor.Matrix) *GATGradients {
+	grads := NewGATGradients(m)
+	g := gradOut
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		layer := m.Layers[li]
+		gl := grads.Layers[li]
+		st := acts.states[li]
+		n := adj.N
+		dHead := layer.W[0].Cols
+
+		gl.Bias = g.ColSums()
+		var dH *tensor.Matrix
+		for k := range layer.W {
+			// This head's slice of the combined gradient.
+			gk := tensor.New(n, dHead)
+			if layer.Concat {
+				for v := 0; v < n; v++ {
+					copy(gk.Row(v), g.Row(v)[k*dHead:(k+1)*dHead])
+				}
+			} else {
+				gk = g.Scale(1 / float32(layer.Heads()))
+			}
+			dHk := attentionBackward(adj, st.h, layer, k, st.heads[k], gk, gl)
+			if dH == nil {
+				dH = dHk
+			} else {
+				dH.AddInPlace(dHk)
+			}
+		}
+		if li > 0 {
+			g = dH.HadamardInPlace(acts.states[li-1].z.ReLUGrad())
+		}
+	}
+	return grads
+}
+
+// TrainGAT trains a GAT full-batch with Adam — the GAT analogue of
+// TrainFullGraph, taking the pieces explicitly so callers can reuse a
+// prebuilt adjacency.
+func TrainGAT(model *GATModel, adj *graph.NormAdjacency, x *tensor.Matrix, labels []int,
+	trainMask []bool, valIdx, testIdx []int, epochs int, lr float64) *TrainResult {
+	flat := model.FlattenParams()
+	opt := NewAdam(lr, len(flat))
+	res := &TrainResult{}
+	for epoch := 0; epoch < epochs; epoch++ {
+		acts := model.Forward(adj, x)
+		loss, gradOut := SoftmaxCrossEntropy(acts.Out, labels, trainMask)
+		grads := model.Backward(adj, acts, gradOut)
+		opt.Step(flat, grads.Flatten())
+		model.SetFlatParams(flat)
+
+		res.LossHistory = append(res.LossHistory, loss)
+		val := Accuracy(acts.Out, labels, valIdx)
+		res.ValAccuracy = append(res.ValAccuracy, val)
+		if val > res.BestVal {
+			res.BestVal = val
+			res.BestEpoch = epoch
+			res.TestAccuracy = Accuracy(acts.Out, labels, testIdx)
+		}
+	}
+	return res
+}

@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
+)
+
+// TrainResult records one training run.
+type TrainResult struct {
+	LossHistory  []float64
+	ValAccuracy  []float64
+	TestAccuracy float64
+	BestVal      float64
+	BestEpoch    int
+}
+
+// TrainFullGraph trains model on d in single-machine full-batch mode for
+// epochs iterations with learning rate lr. This is the standalone baseline
+// (the paper's DGL/PyG rows) and the ground truth the distributed engine is
+// tested against.
+func TrainFullGraph(model *Model, d *datasets.Dataset, epochs int, lr float64) *TrainResult {
+	adj := graph.Normalize(d.Graph)
+	flat := model.FlattenParams()
+	opt := NewAdam(lr, len(flat))
+	res := &TrainResult{}
+	valIdx := d.ValIdx()
+	testIdx := d.TestIdx()
+	for epoch := 0; epoch < epochs; epoch++ {
+		acts := model.Forward(adj, d.Features)
+		logits := acts.H[len(acts.H)-1]
+		loss, gradOut := SoftmaxCrossEntropy(logits, d.Labels, d.TrainMask)
+		grads := model.Backward(adj, acts, gradOut)
+		opt.Step(flat, grads.Flatten())
+		model.SetFlatParams(flat)
+
+		res.LossHistory = append(res.LossHistory, loss)
+		val := Accuracy(logits, d.Labels, valIdx)
+		res.ValAccuracy = append(res.ValAccuracy, val)
+		if val > res.BestVal {
+			res.BestVal = val
+			res.BestEpoch = epoch
+			res.TestAccuracy = Accuracy(logits, d.Labels, testIdx)
+		}
+	}
+	return res
+}

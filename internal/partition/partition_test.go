@@ -1,0 +1,166 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
+)
+
+func randomGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestHashAssignmentValid(t *testing.T) {
+	g := randomGraph(1, 100, 300)
+	parts := Hash{}.Partition(g, 7)
+	if len(parts) != g.N {
+		t.Fatalf("len(parts) = %d", len(parts))
+	}
+	for v, p := range parts {
+		if p != v%7 {
+			t.Fatalf("hash part of %d = %d, want %d", v, p, v%7)
+		}
+	}
+}
+
+func TestHashBalance(t *testing.T) {
+	g := randomGraph(2, 1000, 3000)
+	s := Analyze(g, Hash{}.Partition(g, 8), 8)
+	if s.MaxImbalance > 1.01 {
+		t.Fatalf("hash imbalance %v too high", s.MaxImbalance)
+	}
+}
+
+func TestMetisAssignmentValidAndBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 200, 800)
+		k := 2 + int(seed%7+7)%7
+		parts := Metis{Seed: seed}.Partition(g, k)
+		sizes := make([]int, k)
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				return false
+			}
+			sizes[p]++
+		}
+		capacity := int(float64(g.N)/float64(k)*1.05) + 1
+		for _, sz := range sizes {
+			if sz > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetisBeatsHashOnHomophilousGraph(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	k := 6
+	hs := Analyze(d.Graph, Hash{}.Partition(d.Graph, k), k)
+	ms := Analyze(d.Graph, Metis{}.Partition(d.Graph, k), k)
+	if ms.EdgeCut >= hs.EdgeCut {
+		t.Fatalf("metis cut %d not below hash cut %d", ms.EdgeCut, hs.EdgeCut)
+	}
+	// Fig. 11's premise: METIS should cut substantially less than hash.
+	if float64(ms.EdgeCut) > 0.8*float64(hs.EdgeCut) {
+		t.Fatalf("metis cut %d not substantially below hash cut %d", ms.EdgeCut, hs.EdgeCut)
+	}
+}
+
+func TestMetisDeterministicForSeed(t *testing.T) {
+	g := randomGraph(3, 300, 1200)
+	a := Metis{Seed: 9}.Partition(g, 4)
+	b := Metis{Seed: 9}.Partition(g, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at vertex %d", i)
+		}
+	}
+}
+
+func TestAnalyzeCountsCut(t *testing.T) {
+	// Path 0-1-2-3 split as {0,1},{2,3}: exactly one cut edge (1-2).
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	parts := []int{0, 0, 1, 1}
+	s := Analyze(g, parts, 2)
+	if s.EdgeCut != 1 {
+		t.Fatalf("EdgeCut = %d, want 1", s.EdgeCut)
+	}
+	if s.CutFraction != 1.0/3 {
+		t.Fatalf("CutFraction = %v, want 1/3", s.CutFraction)
+	}
+	// Remote degree: vertices 1 and 2 each have one remote neighbour.
+	if s.RemoteDegree != 0.5 {
+		t.Fatalf("RemoteDegree = %v, want 0.5", s.RemoteDegree)
+	}
+	if s.Sizes[0] != 2 || s.Sizes[1] != 2 {
+		t.Fatalf("Sizes = %v", s.Sizes)
+	}
+}
+
+func TestPartitionCoversAllVerticesIncludingIsolated(t *testing.T) {
+	// Graph with isolated vertices (no edges at all).
+	g := graph.FromEdges(10, nil)
+	parts := Metis{}.Partition(g, 3)
+	for v, p := range parts {
+		if p < 0 || p >= 3 {
+			t.Fatalf("vertex %d unassigned: %d", v, p)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"hash", "metis"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := ByName("zoo"); err == nil {
+		t.Fatalf("expected error for unknown partitioner")
+	}
+}
+
+func TestInvalidKPanics(t *testing.T) {
+	g := randomGraph(4, 10, 20)
+	for _, k := range []int{0, -1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			Hash{}.Partition(g, k)
+		}()
+	}
+}
+
+func BenchmarkMetisPartition(b *testing.B) {
+	d := datasets.MustLoad("cora")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Metis{}.Partition(d.Graph, 6)
+	}
+}
+
+func BenchmarkHashPartition(b *testing.B) {
+	d := datasets.MustLoad("cora")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hash{}.Partition(d.Graph, 6)
+	}
+}

@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ecgraph/internal/datasets"
+)
+
+func TestLDGAssignmentValidAndBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 150, 600)
+		k := 2 + int(seed%5+5)%5
+		parts := LDG{Seed: seed}.Partition(g, k)
+		sizes := make([]int, k)
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				return false
+			}
+			sizes[p]++
+		}
+		capacity := int(float64(g.N)/float64(k)*1.05) + 2
+		for _, sz := range sizes {
+			if sz > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLDGBeatsHashOnHomophilousGraph(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	k := 6
+	hs := Analyze(d.Graph, Hash{}.Partition(d.Graph, k), k)
+	ls := Analyze(d.Graph, LDG{}.Partition(d.Graph, k), k)
+	if ls.EdgeCut >= hs.EdgeCut {
+		t.Fatalf("ldg cut %d not below hash cut %d", ls.EdgeCut, hs.EdgeCut)
+	}
+}
+
+func TestLDGFasterThanMetis(t *testing.T) {
+	d := datasets.MustLoad("reddit") // dense graph, where refinement costs
+	k := 6
+	start := time.Now()
+	LDG{}.Partition(d.Graph, k)
+	ldgTime := time.Since(start)
+	start = time.Now()
+	Metis{}.Partition(d.Graph, k)
+	metisTime := time.Since(start)
+	if ldgTime >= metisTime {
+		t.Logf("warning: ldg %v not faster than metis %v on this machine", ldgTime, metisTime)
+	}
+}
+
+func TestLDGDeterministicForSeed(t *testing.T) {
+	g := randomGraph(5, 200, 900)
+	a := LDG{Seed: 3}.Partition(g, 4)
+	b := LDG{Seed: 3}.Partition(g, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestLDGByName(t *testing.T) {
+	p, err := ByName("ldg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ldg" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestLDGIsolatedVertices(t *testing.T) {
+	g := randomGraph(8, 50, 0) // no edges
+	parts := LDG{}.Partition(g, 5)
+	sizes := make([]int, 5)
+	for _, p := range parts {
+		sizes[p]++
+	}
+	for _, sz := range sizes {
+		if sz < 9 || sz > 11 {
+			t.Fatalf("isolated vertices unbalanced: %v", sizes)
+		}
+	}
+}
+
+func BenchmarkLDGPartition(b *testing.B) {
+	d := datasets.MustLoad("cora")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LDG{}.Partition(d.Graph, 6)
+	}
+}

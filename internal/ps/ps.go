@@ -1,0 +1,250 @@
+// Package ps implements EC-Graph's Parameter Manager: the model parameters
+// are flattened into one vector, split into contiguous ranges across M
+// parameter servers (the paper's built-in range-based partition of W and B,
+// §III-A), and trained with server-side Adam over globally summed worker
+// gradients (Alg. 2 lines 1-3).
+//
+// Workers interact through two operators, pull and push. Training is
+// synchronous: push contributes a worker's gradients for the current epoch;
+// when all workers have pushed, the server applies Adam and advances its
+// version; pull blocks until the requested version is available.
+package ps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ecgraph/internal/nn"
+	"ecgraph/internal/transport"
+)
+
+// RPC method names served by Server.Handler.
+const (
+	MethodPull = "ps.pull"
+	MethodPush = "ps.push"
+)
+
+// Range is a half-open slice [Lo, Hi) of the flat parameter vector.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of parameters in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Ranges splits total parameters evenly across m servers (range-based
+// partition). The first total mod m ranges hold one extra element.
+func Ranges(total, m int) []Range {
+	if m <= 0 {
+		panic(fmt.Sprintf("ps: need at least one server, got %d", m))
+	}
+	out := make([]Range, m)
+	base, extra := total/m, total%m
+	lo := 0
+	for i := range out {
+		n := base
+		if i < extra {
+			n++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return out
+}
+
+// ServerOptions carries the optional optimiser refinements.
+type ServerOptions struct {
+	// MaxGradNorm clips the summed gradient's L2 norm per update when > 0.
+	// Each server clips against its own range's norm scaled by its share of
+	// the parameters, a common approximation that avoids a cross-server
+	// reduction.
+	MaxGradNorm float64
+	// LRDecay multiplies the learning rate after every update when in
+	// (0, 1); 0 or 1 keeps it constant.
+	LRDecay float64
+}
+
+// Server owns one parameter range with its Adam state.
+type Server struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	params   []float32
+	opt      *nn.Adam
+	opts     ServerOptions
+	version  int // epochs applied
+	pending  []float32
+	nPending int
+	expected int // workers per epoch
+}
+
+// NewServer creates a server owning the given initial parameter slice
+// (copied), updated by Adam with learning rate lr once all expected workers
+// have pushed.
+func NewServer(initial []float32, lr float64, expectedWorkers int) *Server {
+	return NewServerOpts(initial, lr, expectedWorkers, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with gradient clipping and LR decay.
+func NewServerOpts(initial []float32, lr float64, expectedWorkers int, opts ServerOptions) *Server {
+	if expectedWorkers <= 0 {
+		panic(fmt.Sprintf("ps: expectedWorkers must be positive, got %d", expectedWorkers))
+	}
+	s := &Server{
+		params:   append([]float32(nil), initial...),
+		opt:      nn.NewAdam(lr, len(initial)),
+		opts:     opts,
+		pending:  make([]float32, len(initial)),
+		expected: expectedWorkers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Version returns the number of applied updates.
+func (s *Server) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Handler returns the transport handler serving pull and push.
+func (s *Server) Handler() transport.Handler {
+	return func(method string, req []byte) ([]byte, error) {
+		switch method {
+		case MethodPull:
+			r := transport.NewReader(req)
+			version := int(r.Uint32())
+			params := s.pullWait(version)
+			w := transport.NewWriter(4 + len(params)*4)
+			w.Float32s(params)
+			return w.Bytes(), nil
+		case MethodPush:
+			r := transport.NewReader(req)
+			grads := r.Float32s()
+			if err := s.push(grads); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("ps: unknown method %q", method)
+		}
+	}
+}
+
+// pullWait blocks until version updates have been applied, then returns a
+// snapshot of the parameters.
+func (s *Server) pullWait(version int) []float32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.version < version {
+		s.cond.Wait()
+	}
+	return append([]float32(nil), s.params...)
+}
+
+// push accumulates one worker's gradients; the last worker of the epoch
+// triggers the Adam step (the servers "add them up to obtain the global
+// gradients, and update the weights").
+func (s *Server) push(grads []float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(grads) != len(s.pending) {
+		return fmt.Errorf("ps: gradient length %d != range %d", len(grads), len(s.pending))
+	}
+	for i, g := range grads {
+		s.pending[i] += g
+	}
+	s.nPending++
+	if s.nPending == s.expected {
+		if s.opts.MaxGradNorm > 0 {
+			clipNorm(s.pending, s.opts.MaxGradNorm)
+		}
+		s.opt.Step(s.params, s.pending)
+		if d := s.opts.LRDecay; d > 0 && d < 1 {
+			s.opt.LR *= d
+		}
+		for i := range s.pending {
+			s.pending[i] = 0
+		}
+		s.nPending = 0
+		s.version++
+		s.cond.Broadcast()
+	}
+	return nil
+}
+
+// clipNorm scales g so its L2 norm does not exceed maxNorm.
+func clipNorm(g []float32, maxNorm float64) {
+	var sq float64
+	for _, v := range g {
+		sq += float64(v) * float64(v)
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := float32(maxNorm / norm)
+	for i := range g {
+		g[i] *= scale
+	}
+}
+
+// Client is a worker-side view of the server fleet.
+type Client struct {
+	net     transport.Network
+	worker  int   // this worker's node id
+	servers []int // server node ids, one per range
+	ranges  []Range
+	total   int
+}
+
+// NewClient builds a client for worker node worker talking to the given
+// server nodes, each owning the corresponding range of a total-length
+// parameter vector.
+func NewClient(net transport.Network, worker int, servers []int, ranges []Range) *Client {
+	if len(servers) != len(ranges) {
+		panic(fmt.Sprintf("ps: %d servers for %d ranges", len(servers), len(ranges)))
+	}
+	total := 0
+	for _, r := range ranges {
+		total += r.Len()
+	}
+	return &Client{net: net, worker: worker, servers: servers, ranges: ranges, total: total}
+}
+
+// Pull fetches the full flat parameter vector at the given version,
+// blocking until every server has applied that many updates.
+func (c *Client) Pull(version int) ([]float32, error) {
+	out := make([]float32, c.total)
+	for i, srv := range c.servers {
+		w := transport.NewWriter(4)
+		w.Uint32(uint32(version))
+		resp, err := c.net.Call(c.worker, srv, MethodPull, w.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		part := transport.NewReader(resp).Float32s()
+		if len(part) != c.ranges[i].Len() {
+			return nil, fmt.Errorf("ps: server %d returned %d params, want %d", srv, len(part), c.ranges[i].Len())
+		}
+		copy(out[c.ranges[i].Lo:c.ranges[i].Hi], part)
+	}
+	return out, nil
+}
+
+// Push splits grads by range and sends each slice to its server.
+func (c *Client) Push(grads []float32) error {
+	if len(grads) != c.total {
+		return fmt.Errorf("ps: pushing %d grads, total is %d", len(grads), c.total)
+	}
+	for i, srv := range c.servers {
+		w := transport.NewWriter(4 + c.ranges[i].Len()*4)
+		w.Float32s(grads[c.ranges[i].Lo:c.ranges[i].Hi])
+		if _, err := c.net.Call(c.worker, srv, MethodPush, w.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package ps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ecgraph/internal/transport"
+)
+
+func TestRangesEven(t *testing.T) {
+	r := Ranges(10, 2)
+	if r[0] != (Range{0, 5}) || r[1] != (Range{5, 10}) {
+		t.Fatalf("Ranges = %v", r)
+	}
+}
+
+func TestRangesUneven(t *testing.T) {
+	r := Ranges(10, 3)
+	total := 0
+	prev := 0
+	for _, x := range r {
+		if x.Lo != prev {
+			t.Fatalf("ranges not contiguous: %v", r)
+		}
+		if x.Len() < 3 || x.Len() > 4 {
+			t.Fatalf("range size %d not balanced: %v", x.Len(), r)
+		}
+		total += x.Len()
+		prev = x.Hi
+	}
+	if total != 10 {
+		t.Fatalf("ranges cover %d, want 10", total)
+	}
+}
+
+func TestRangesMoreServersThanParams(t *testing.T) {
+	r := Ranges(2, 4)
+	if r[0].Len()+r[1].Len()+r[2].Len()+r[3].Len() != 2 {
+		t.Fatalf("Ranges = %v", r)
+	}
+}
+
+func TestRangesZeroServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Ranges(10, 0)
+}
+
+// cluster wires W workers and S servers over an in-process network and
+// returns the clients.
+func cluster(t *testing.T, params []float32, lr float64, nWorkers, nServers int) ([]*Client, []*Server, transport.Network) {
+	t.Helper()
+	net := transport.NewInProc(nWorkers + nServers)
+	ranges := Ranges(len(params), nServers)
+	servers := make([]*Server, nServers)
+	serverNodes := make([]int, nServers)
+	for i := range servers {
+		servers[i] = NewServer(params[ranges[i].Lo:ranges[i].Hi], lr, nWorkers)
+		node := nWorkers + i
+		serverNodes[i] = node
+		net.Register(node, servers[i].Handler())
+	}
+	clients := make([]*Client, nWorkers)
+	for w := range clients {
+		clients[w] = NewClient(net, w, serverNodes, ranges)
+	}
+	return clients, servers, net
+}
+
+func TestPullInitialParams(t *testing.T) {
+	params := []float32{1, 2, 3, 4, 5}
+	clients, _, _ := cluster(t, params, 0.1, 2, 2)
+	got, err := clients[0].Pull(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if got[i] != params[i] {
+			t.Fatalf("Pull(0) = %v", got)
+		}
+	}
+}
+
+func TestPushAggregatesAcrossWorkersAndApplies(t *testing.T) {
+	params := make([]float32, 6)
+	clients, servers, _ := cluster(t, params, 0.5, 3, 2)
+
+	grads := []float32{1, 1, 1, 1, 1, 1}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if err := c.Push(grads); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for i, s := range servers {
+		if s.Version() != 1 {
+			t.Fatalf("server %d version %d, want 1", i, s.Version())
+		}
+	}
+	got, err := clients[0].Pull(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Adam step with positive gradient moves every param negative.
+	for i, v := range got {
+		if v >= 0 {
+			t.Fatalf("param %d = %v, expected negative after step", i, v)
+		}
+	}
+}
+
+func TestPullBlocksUntilVersion(t *testing.T) {
+	params := make([]float32, 4)
+	clients, _, _ := cluster(t, params, 0.1, 2, 1)
+
+	done := make(chan []float32, 1)
+	go func() {
+		got, err := clients[0].Pull(1) // blocks until one update applied
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		done <- got
+	}()
+
+	select {
+	case <-done:
+		t.Fatalf("Pull(1) returned before any update")
+	default:
+	}
+
+	grads := []float32{1, 1, 1, 1}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if err := c.Push(grads); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	got := <-done
+	if len(got) != 4 {
+		t.Fatalf("Pull returned %d params", len(got))
+	}
+}
+
+func TestMultiEpochConvergesQuadratic(t *testing.T) {
+	// Distributed minimisation of f(w) = Σ (w_i − target_i)²: each of two
+	// workers pushes half the gradient 2(w−target)/2; Adam on the servers
+	// should drive w → target.
+	target := []float32{1, -2, 3}
+	params := make([]float32, 3)
+	clients, _, _ := cluster(t, params, 0.05, 2, 2)
+
+	var w []float32
+	for epoch := 0; epoch < 800; epoch++ {
+		var wg sync.WaitGroup
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				cur, err := c.Pull(epoch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				grads := make([]float32, len(cur))
+				for i := range grads {
+					grads[i] = (cur[i] - target[i]) // each worker: half of 2(w−t)
+				}
+				if err := c.Push(grads); err != nil {
+					t.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	w, err := clients[0].Pull(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range target {
+		if math.Abs(float64(w[i]-target[i])) > 0.05 {
+			t.Fatalf("param %d = %v, want %v", i, w[i], target[i])
+		}
+	}
+}
+
+func TestPushWrongLength(t *testing.T) {
+	clients, _, _ := cluster(t, make([]float32, 4), 0.1, 1, 1)
+	if err := clients[0].Push(make([]float32, 3)); err == nil {
+		t.Fatalf("expected error for wrong gradient length")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	s := NewServer(make([]float32, 2), 0.1, 1)
+	if _, err := s.Handler()("ps.bogus", nil); err == nil {
+		t.Fatalf("expected error for unknown method")
+	}
+}
+
+func TestNewServerInvalidWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewServer(nil, 0.1, 0)
+}
+
+func TestNewClientMismatchedRangesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewClient(transport.NewInProc(1), 0, []int{1}, nil)
+}
+
+func TestOverTCP(t *testing.T) {
+	// The same pull/push protocol must work over real sockets.
+	net, err := transport.NewTCPCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	params := []float32{0, 0}
+	ranges := Ranges(2, 1)
+	srv := NewServer(params, 0.1, 2)
+	net.Register(2, srv.Handler())
+	c0 := NewClient(net, 0, []int{2}, ranges)
+	c1 := NewClient(net, 1, []int{2}, ranges)
+
+	var wg sync.WaitGroup
+	for _, c := range []*Client{c0, c1} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if err := c.Push([]float32{1, 1}); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	got, err := c0.Pull(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] >= 0 || got[1] >= 0 {
+		t.Fatalf("params not updated over TCP: %v", got)
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	s := NewServerOpts(make([]float32, 3), 1.0, 1, ServerOptions{MaxGradNorm: 1})
+	g := []float32{30, 40, 0} // norm 50 → scaled to 1
+	if err := s.push(g); err != nil {
+		t.Fatal(err)
+	}
+	// After one huge clipped step, params should have moved by roughly the
+	// Adam step size (≈ lr), not exploded.
+	p := s.pullWait(1)
+	for _, v := range p {
+		if v < -1.5 || v > 1.5 {
+			t.Fatalf("clipped step still exploded: %v", p)
+		}
+	}
+}
+
+func TestClipNormNoopBelowThreshold(t *testing.T) {
+	g := []float32{0.3, 0.4}
+	clipNorm(g, 1)
+	if g[0] != 0.3 || g[1] != 0.4 {
+		t.Fatalf("clip modified in-bounds gradient: %v", g)
+	}
+	z := []float32{0, 0}
+	clipNorm(z, 1) // zero norm must not divide by zero
+	if z[0] != 0 {
+		t.Fatalf("zero gradient corrupted")
+	}
+}
+
+func TestLRDecay(t *testing.T) {
+	s := NewServerOpts(make([]float32, 1), 1.0, 1, ServerOptions{LRDecay: 0.5})
+	if err := s.push([]float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.opt.LR != 0.5 {
+		t.Fatalf("LR after one decay = %v, want 0.5", s.opt.LR)
+	}
+	if err := s.push([]float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.opt.LR != 0.25 {
+		t.Fatalf("LR after two decays = %v, want 0.25", s.opt.LR)
+	}
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of result elements below which MatMul runs
+// single-threaded; spawning goroutines for tiny products costs more than it
+// saves.
+const parallelThreshold = 64 * 64
+
+// MatMul returns m · n using a cache-blocked ikj kernel, parallelised over
+// row bands when the product is large enough.
+func (m *Matrix) MatMul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := New(m.Rows, n.Cols)
+	if m.Rows*n.Cols < parallelThreshold {
+		matmulRange(out, m, n, 0, m.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRange(out, m, n, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matmulRange computes rows [lo,hi) of out = m·n with an ikj loop order:
+// the inner loop streams through contiguous rows of n and out, which lets
+// the compiler keep everything in cache lines and vectorise.
+func matmulRange(out, m, n *Matrix, lo, hi int) {
+	K, N := m.Cols, n.Cols
+	for i := lo; i < hi; i++ {
+		mrow := m.Data[i*K : (i+1)*K]
+		orow := out.Data[i*N : (i+1)*N]
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			nrow := n.Data[k*N : (k+1)*N]
+			for j, b := range nrow {
+				orow[j] += a * b
+			}
+		}
+	}
+}
+
+// MatMulT returns m · nᵀ without materialising the transpose.
+func (m *Matrix) MatMulT(n *Matrix) *Matrix {
+	if m.Cols != n.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := New(m.Rows, n.Rows)
+	work := func(lo, hi int) {
+		K := m.Cols
+		for i := lo; i < hi; i++ {
+			mrow := m.Data[i*K : (i+1)*K]
+			orow := out.Data[i*n.Rows : (i+1)*n.Rows]
+			for j := 0; j < n.Rows; j++ {
+				nrow := n.Data[j*K : (j+1)*K]
+				var acc float32
+				for k, a := range mrow {
+					acc += a * nrow[k]
+				}
+				orow[j] = acc
+			}
+		}
+	}
+	parallelRows(m.Rows, m.Rows*n.Rows, work)
+	return out
+}
+
+// TMatMul returns mᵀ · n without materialising the transpose. The result is
+// Cols(m) × Cols(n); used for weight gradients Y = Hᵀ(AG).
+func (m *Matrix) TMatMul(n *Matrix) *Matrix {
+	if m.Rows != n.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := New(m.Cols, n.Cols)
+	// Parallelise over bands of output rows (columns of m). Each worker owns
+	// a disjoint band so no synchronisation is needed.
+	work := func(lo, hi int) {
+		N := n.Cols
+		for r := 0; r < m.Rows; r++ {
+			mrow := m.Data[r*m.Cols : (r+1)*m.Cols]
+			nrow := n.Data[r*N : (r+1)*N]
+			for c := lo; c < hi; c++ {
+				a := mrow[c]
+				if a == 0 {
+					continue
+				}
+				orow := out.Data[c*N : (c+1)*N]
+				for j, b := range nrow {
+					orow[j] += a * b
+				}
+			}
+		}
+	}
+	parallelRows(m.Cols, m.Cols*n.Cols, work)
+	return out
+}
+
+// parallelRows splits [0,rows) across GOMAXPROCS workers when size (the
+// number of output elements) crosses parallelThreshold.
+func parallelRows(rows, size int, work func(lo, hi int)) {
+	if size < parallelThreshold || rows < 2 {
+		work(0, rows)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,105 @@
+// Package trace exports training timelines in the Chrome trace-event
+// format (chrome://tracing, Perfetto, speedscope): each epoch becomes a
+// pair of compute/communication spans on the simulated-cluster timeline,
+// making compression's effect on the comm share directly visible.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"ecgraph/internal/core"
+)
+
+// Event is one trace event in Chrome's "complete" form (ph = "X").
+type Event struct {
+	Name     string  `json:"name"`
+	Category string  `json:"cat"`
+	Phase    string  `json:"ph"`
+	TSMicros float64 `json:"ts"`
+	DurMicro float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+}
+
+// Recorder accumulates events; safe for concurrent Add.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add records a span. Times are in seconds on whatever clock the caller
+// uses; they are converted to the format's microseconds.
+func (r *Recorder) Add(name, category string, pid, tid int, startSec, durSec float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{
+		Name: name, Category: category, Phase: "X",
+		TSMicros: startSec * 1e6, DurMicro: durSec * 1e6,
+		PID: pid, TID: tid,
+	})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSON emits the {"traceEvents": [...]} document, events sorted by
+// start time for stable output.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	events := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TSMicros < events[j].TSMicros })
+	doc := struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the trace document to path.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FromResult lays a training result out on the simulated-cluster timeline:
+// preprocessing first, then per epoch a compute span followed by a comm
+// span, all on pid 0 / tid 0 with the epoch index in the span name.
+func FromResult(res *core.Result) *Recorder {
+	r := NewRecorder()
+	cursor := 0.0
+	if res.PreprocessSeconds > 0 {
+		r.Add("preprocess", "setup", 0, 0, cursor, res.PreprocessSeconds)
+		cursor += res.PreprocessSeconds
+	}
+	for t, e := range res.Epochs {
+		if e.ComputeSeconds > 0 {
+			r.Add(fmt.Sprintf("epoch %d compute", t), "compute", 0, 0, cursor, e.ComputeSeconds)
+			cursor += e.ComputeSeconds
+		}
+		if e.CommSeconds > 0 {
+			r.Add(fmt.Sprintf("epoch %d comm", t), "comm", 0, 0, cursor, e.CommSeconds)
+			cursor += e.CommSeconds
+		}
+	}
+	return r
+}

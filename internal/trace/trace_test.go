@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ecgraph/internal/core"
+)
+
+func TestRecorderJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Add("b", "compute", 0, 1, 0.002, 0.001)
+	r.Add("a", "comm", 0, 1, 0.001, 0.001)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	// Sorted by start time: "a" (1ms) before "b" (2ms).
+	if doc.TraceEvents[0].Name != "a" || doc.TraceEvents[1].Name != "b" {
+		t.Fatalf("events not time-sorted: %+v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].TSMicros != 1000 || doc.TraceEvents[0].DurMicro != 1000 {
+		t.Fatalf("microsecond conversion wrong: %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[0].Phase != "X" {
+		t.Fatalf("phase must be X")
+	}
+}
+
+func TestRecorderConcurrentAdd(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Add("e", "c", i, j, float64(j), 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestFromResultLayout(t *testing.T) {
+	res := &core.Result{
+		PreprocessSeconds: 0.5,
+		Epochs: []core.EpochStats{
+			{ComputeSeconds: 0.1, CommSeconds: 0.2},
+			{ComputeSeconds: 0.3, CommSeconds: 0},
+		},
+	}
+	r := FromResult(res)
+	// preprocess + (compute, comm) + compute = 4 events (zero comm skipped).
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Spans must tile the timeline without overlap.
+	var cursor float64
+	for _, e := range doc.TraceEvents {
+		if e.TSMicros < cursor-1e-6 {
+			t.Fatalf("span %q overlaps previous (ts %v < cursor %v)", e.Name, e.TSMicros, cursor)
+		}
+		cursor = e.TSMicros + e.DurMicro
+	}
+	if cursor != (0.5+0.1+0.2+0.3)*1e6 {
+		t.Fatalf("timeline ends at %v", cursor)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	r := NewRecorder()
+	r.Add("x", "c", 0, 0, 0, 1)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(filepath.Join(t.TempDir(), "missing", "trace.json")); err == nil {
+		t.Fatalf("expected error for bad path")
+	}
+}

@@ -1,0 +1,240 @@
+// Package transport carries the messages EC-Graph exchanges between
+// workers and servers.
+//
+// The paper uses gRPC + protobuf between physical machines. This package
+// substitutes a compact hand-rolled binary codec (this file) and two
+// interchangeable Network implementations: an in-process one that executes
+// handlers directly while counting every wire byte (network.go) — the
+// counters drive the simulated Gigabit-Ethernet cost model (cost.go) — and
+// a real TCP implementation over stdlib net (tcp.go) proving the protocol
+// runs across sockets. Compression claims are about bytes on the wire, and
+// both implementations serialise through the same codec, so the byte counts
+// are identical either way.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ecgraph/internal/compress"
+	"ecgraph/internal/tensor"
+)
+
+// Writer appends binary values to a growing buffer (little-endian).
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Byte appends a single byte.
+func (w *Writer) Byte(v byte) { w.buf = append(w.buf, v) }
+
+// Uint32 appends a little-endian uint32.
+func (w *Writer) Uint32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// Uint64 appends a little-endian uint64.
+func (w *Writer) Uint64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Int32 appends a little-endian int32.
+func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Float32 appends a little-endian float32.
+func (w *Writer) Float32(v float32) { w.Uint32(math.Float32bits(v)) }
+
+// Float32s appends a length-prefixed float32 slice.
+func (w *Writer) Float32s(v []float32) {
+	w.Uint32(uint32(len(v)))
+	for _, x := range v {
+		w.Float32(x)
+	}
+}
+
+// Int32s appends a length-prefixed int32 slice.
+func (w *Writer) Int32s(v []int32) {
+	w.Uint32(uint32(len(v)))
+	for _, x := range v {
+		w.Int32(x)
+	}
+}
+
+// Uint8s appends a length-prefixed byte slice.
+func (w *Writer) Uint8s(v []byte) {
+	w.Uint32(uint32(len(v)))
+	w.buf = append(w.buf, v...)
+}
+
+// Matrix appends a dense matrix (shape + raw float32 data).
+func (w *Writer) Matrix(m *tensor.Matrix) {
+	w.Uint32(uint32(m.Rows))
+	w.Uint32(uint32(m.Cols))
+	for _, x := range m.Data {
+		w.Float32(x)
+	}
+}
+
+// Quantized appends a compressed matrix: shape, bits, domain and packed ids.
+// Its encoded size matches Quantized.WireBytes within the constant bucket
+// table (which we reconstruct from the domain instead of shipping).
+func (w *Writer) Quantized(q *compress.Quantized) {
+	w.Uint32(uint32(q.Rows))
+	w.Uint32(uint32(q.Cols))
+	w.Byte(byte(q.Bits))
+	if q.ZeroCentered {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+	w.Float32(q.Lo)
+	w.Float32(q.Hi)
+	w.Uint32(uint32(len(q.Packed)))
+	for _, word := range q.Packed {
+		w.Uint64(word)
+	}
+}
+
+// Sparse appends a Top-K sparsified matrix: shape plus (index, value)
+// pairs for the kept elements.
+func (w *Writer) Sparse(s *compress.Sparse) {
+	w.Uint32(uint32(s.Rows))
+	w.Uint32(uint32(s.Cols))
+	w.Uint32(uint32(len(s.Idx)))
+	for i, id := range s.Idx {
+		w.Int32(id)
+		w.Float32(s.Val[i])
+	}
+}
+
+// Reader consumes binary values written by Writer. Out-of-bounds reads
+// panic with a descriptive message; transport payloads are produced by
+// trusted peers in the same process or cluster, so a malformed frame is a
+// programming error, not an input-validation concern.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps buf for reading.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) need(n int) {
+	if r.off+n > len(r.buf) {
+		panic(fmt.Sprintf("transport: short read: need %d bytes at offset %d of %d", n, r.off, len(r.buf)))
+	}
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	r.need(1)
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Uint32 reads a little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	r.need(4)
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 reads a little-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	r.need(8)
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Int32 reads a little-endian int32.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Float32 reads a little-endian float32.
+func (r *Reader) Float32() float32 { return math.Float32frombits(r.Uint32()) }
+
+// Float32s reads a length-prefixed float32 slice.
+func (r *Reader) Float32s() []float32 {
+	n := int(r.Uint32())
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.Float32()
+	}
+	return out
+}
+
+// Int32s reads a length-prefixed int32 slice.
+func (r *Reader) Int32s() []int32 {
+	n := int(r.Uint32())
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.Int32()
+	}
+	return out
+}
+
+// Uint8s reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Uint8s() []byte {
+	n := int(r.Uint32())
+	r.need(n)
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// Matrix reads a dense matrix.
+func (r *Reader) Matrix() *tensor.Matrix {
+	rows := int(r.Uint32())
+	cols := int(r.Uint32())
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Float32()
+	}
+	return m
+}
+
+// Sparse reads a Top-K sparsified matrix.
+func (r *Reader) Sparse() *compress.Sparse {
+	s := &compress.Sparse{}
+	s.Rows = int(r.Uint32())
+	s.Cols = int(r.Uint32())
+	n := int(r.Uint32())
+	s.Idx = make([]int32, n)
+	s.Val = make([]float32, n)
+	for i := 0; i < n; i++ {
+		s.Idx[i] = r.Int32()
+		s.Val[i] = r.Float32()
+	}
+	return s
+}
+
+// Quantized reads a compressed matrix.
+func (r *Reader) Quantized() *compress.Quantized {
+	q := &compress.Quantized{}
+	q.Rows = int(r.Uint32())
+	q.Cols = int(r.Uint32())
+	q.Bits = int(r.Byte())
+	q.ZeroCentered = r.Byte() == 1
+	q.Lo = r.Float32()
+	q.Hi = r.Float32()
+	n := int(r.Uint32())
+	q.Packed = make([]uint64, n)
+	for i := range q.Packed {
+		q.Packed[i] = r.Uint64()
+	}
+	return q
+}

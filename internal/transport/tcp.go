@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPCluster is a Network whose nodes listen on real loopback TCP sockets.
+// It exists to prove the EC-Graph protocol end-to-end over an actual
+// transport: same handlers, same codec, same byte accounting as InProc.
+//
+// Frame format (little-endian), both directions:
+//
+//	uint32 payload length (method + body, or status + body)
+//	request:  uint8 method length, method bytes, body
+//	response: uint8 status (0 ok, 1 error), body (or error string)
+type TCPCluster struct {
+	mu        sync.RWMutex
+	listeners []net.Listener
+	addrs     []string
+	handlers  []Handler
+	counters  []nodeCounters
+	conns     map[[2]int]*tcpConn // (src,dst) → pooled connection
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serialises request/response pairs on the connection
+	c  net.Conn
+}
+
+// NewTCPCluster starts n loopback listeners and returns the cluster.
+func NewTCPCluster(n int) (*TCPCluster, error) {
+	tc := &TCPCluster{
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+		handlers:  make([]Handler, n),
+		counters:  make([]nodeCounters, n),
+		conns:     make(map[[2]int]*tcpConn),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tc.Close()
+			return nil, fmt.Errorf("transport: listen node %d: %w", i, err)
+		}
+		tc.listeners[i] = ln
+		tc.addrs[i] = ln.Addr().String()
+		tc.wg.Add(1)
+		go tc.serve(i, ln)
+	}
+	return tc, nil
+}
+
+// Addr returns the listen address of node.
+func (tc *TCPCluster) Addr(node int) string { return tc.addrs[node] }
+
+func (tc *TCPCluster) serve(node int, ln net.Listener) {
+	defer tc.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tc.wg.Add(1)
+		go func() {
+			defer tc.wg.Done()
+			defer conn.Close()
+			for {
+				if err := tc.serveOne(node, conn); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (tc *TCPCluster) serveOne(node int, conn net.Conn) error {
+	payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 1 {
+		return errors.New("transport: empty request frame")
+	}
+	mlen := int(payload[0])
+	if 1+mlen > len(payload) {
+		return errors.New("transport: bad method length")
+	}
+	method := string(payload[1 : 1+mlen])
+	body := payload[1+mlen:]
+
+	tc.mu.RLock()
+	h := tc.handlers[node]
+	tc.mu.RUnlock()
+
+	var resp []byte
+	status := byte(0)
+	if h == nil {
+		status = 1
+		resp = []byte(fmt.Sprintf("node %d has no handler", node))
+	} else if out, herr := h(method, body); herr != nil {
+		status = 1
+		resp = []byte(herr.Error())
+	} else {
+		resp = out
+	}
+	frame := make([]byte, 1+len(resp))
+	frame[0] = status
+	copy(frame[1:], resp)
+	return writeFrame(conn, frame)
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	const maxFrame = 1 << 30
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Register implements Network.
+func (tc *TCPCluster) Register(node int, h Handler) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.handlers[node] = h
+}
+
+// Call implements Network. Local calls (src == dst) bypass the socket and
+// the counters, mirroring InProc's shared-memory semantics.
+func (tc *TCPCluster) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if dst < 0 || dst >= len(tc.addrs) {
+		return nil, fmt.Errorf("transport: no such node %d", dst)
+	}
+	if src == dst {
+		tc.mu.RLock()
+		h := tc.handlers[dst]
+		tc.mu.RUnlock()
+		if h == nil {
+			return nil, fmt.Errorf("transport: node %d has no handler", dst)
+		}
+		return h(method, req)
+	}
+	conn, err := tc.conn(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+
+	frame := make([]byte, 1+len(method)+len(req))
+	frame[0] = byte(len(method))
+	copy(frame[1:], method)
+	copy(frame[1+len(method):], req)
+	if err := writeFrame(conn.c, frame); err != nil {
+		return nil, fmt.Errorf("transport: write %d→%d: %w", src, dst, err)
+	}
+	resp, err := readFrame(conn.c)
+	if err != nil {
+		return nil, fmt.Errorf("transport: read %d→%d: %w", src, dst, err)
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("transport: empty response frame")
+	}
+
+	reqWire := int64(4 + len(frame))
+	respWire := int64(4 + len(resp))
+	out := &tc.counters[src]
+	in := &tc.counters[dst]
+	out.bytesOut.Add(reqWire)
+	in.bytesIn.Add(reqWire)
+	in.bytesOut.Add(respWire)
+	out.bytesIn.Add(respWire)
+	out.messages.Add(1)
+
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("transport: call %s %d→%d: %s", method, src, dst, resp[1:])
+	}
+	body := make([]byte, len(resp)-1)
+	copy(body, resp[1:])
+	return body, nil
+}
+
+func (tc *TCPCluster) conn(src, dst int) (*tcpConn, error) {
+	key := [2]int{src, dst}
+	tc.mu.RLock()
+	c, ok := tc.conns[key]
+	closed := tc.closed
+	tc.mu.RUnlock()
+	if closed {
+		return nil, errors.New("transport: cluster closed")
+	}
+	if ok {
+		return c, nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if c, ok := tc.conns[key]; ok {
+		return c, nil
+	}
+	raw, err := net.Dial("tcp", tc.addrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d→%d: %w", src, dst, err)
+	}
+	c = &tcpConn{c: raw}
+	tc.conns[key] = c
+	return c, nil
+}
+
+// NodeStats implements Network.
+func (tc *TCPCluster) NodeStats(node int) Stats {
+	c := &tc.counters[node]
+	return Stats{
+		BytesOut: c.bytesOut.Load(),
+		BytesIn:  c.bytesIn.Load(),
+		Messages: c.messages.Load(),
+	}
+}
+
+// ResetStats implements Network.
+func (tc *TCPCluster) ResetStats() {
+	for i := range tc.counters {
+		tc.counters[i].bytesOut.Store(0)
+		tc.counters[i].bytesIn.Store(0)
+		tc.counters[i].messages.Store(0)
+	}
+}
+
+// Close shuts down all listeners and pooled connections.
+func (tc *TCPCluster) Close() error {
+	tc.mu.Lock()
+	if tc.closed {
+		tc.mu.Unlock()
+		return nil
+	}
+	tc.closed = true
+	for _, ln := range tc.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, c := range tc.conns {
+		c.c.Close()
+	}
+	tc.mu.Unlock()
+	tc.wg.Wait()
+	return nil
+}

@@ -1,0 +1,236 @@
+package worker
+
+import (
+	"fmt"
+
+	"ecgraph/internal/ec"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+)
+
+// fetchGhostH gathers the ghost rows of H^l for iteration t from every
+// owning peer (Alg. 3 on the requesting end), decoding per the configured
+// forward scheme. With delayed aggregation only the epoch's refresh subset
+// travels; the rest comes from the stale cache.
+func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
+	if len(w.ghostIDs) == 0 {
+		return nil, nil
+	}
+	dim := w.cfg.Model.Dims[l]
+	if w.ghostHCache != nil {
+		return w.fetchGhostHDelayed(l, t, dim)
+	}
+	out := tensor.New(len(w.ghostIDs), dim)
+	for _, j := range w.ghostOwner {
+		req := transport.NewWriter(16)
+		req.Byte(byte(l))
+		req.Uint32(uint32(t))
+		req.Int32(int32(w.id))
+		req.Byte(0) // no subset
+		resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+		}
+		var rows *tensor.Matrix
+		if w.cfg.Opts.FPScheme == SchemeEC {
+			rows = w.fpReq[l][j].Parse(resp, t)
+		} else {
+			rows = ec.ParseMatrix(resp)
+		}
+		base := w.ghostBase[j]
+		for r := 0; r < rows.Rows; r++ {
+			copy(out.Row(base+r), rows.Row(r))
+		}
+	}
+	return out, nil
+}
+
+// refreshPositions returns, for peer j, the indices within Needs[w][j] that
+// are refreshed at epoch t under delay r: vertex u refreshes when
+// (u + t) mod r == 0, so each ghost refreshes once every r epochs and the
+// refresh load spreads evenly. Epoch 0 refreshes everything (cold cache).
+func (w *Worker) refreshPositions(j, t int) []int32 {
+	lst := w.topo.Needs[w.id][j]
+	if t == 0 {
+		all := make([]int32, len(lst))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	r := w.cfg.Opts.DelayRounds
+	var out []int32
+	for i, u := range lst {
+		if (int(u)+t)%r == 0 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
+	if w.ghostHCache[l] == nil {
+		w.ghostHCache[l] = tensor.New(len(w.ghostIDs), dim)
+	}
+	cache := w.ghostHCache[l]
+	for _, j := range w.ghostOwner {
+		positions := w.refreshPositions(j, t)
+		if len(positions) == 0 {
+			continue
+		}
+		req := transport.NewWriter(16 + len(positions)*4)
+		req.Byte(byte(l))
+		req.Uint32(uint32(t))
+		req.Int32(int32(w.id))
+		req.Byte(1)
+		req.Int32s(positions)
+		resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: delayed getH from %d: %w", w.id, j, err)
+		}
+		rows := ec.ParseMatrix(resp)
+		base := w.ghostBase[j]
+		for r, p := range positions {
+			copy(cache.Row(base+int(p)), rows.Row(r))
+		}
+	}
+	return cache, nil
+}
+
+// fetchGhostG gathers ghost rows of G^l for iteration t (Alg. 5).
+func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
+	if len(w.ghostIDs) == 0 {
+		return nil, nil
+	}
+	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
+	for _, j := range w.ghostOwner {
+		req := transport.NewWriter(16)
+		req.Byte(byte(l))
+		req.Uint32(uint32(t))
+		req.Int32(int32(w.id))
+		resp, err := w.cfg.Net.Call(w.id, j, MethodGetG, req.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+		}
+		rows := ec.ParseMatrix(resp)
+		base := w.ghostBase[j]
+		for r := 0; r < rows.Rows; r++ {
+			copy(out.Row(base+r), rows.Row(r))
+		}
+	}
+	return out, nil
+}
+
+// Handler returns the transport handler serving this worker's RPCs. It runs
+// on peer goroutines concurrently with RunEpoch; the matStore provides the
+// synchronisation, and per-(layer,requester) EC state is only ever touched
+// by its single requester's sequential calls.
+func (w *Worker) Handler() transport.Handler {
+	return func(method string, req []byte) (resp []byte, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("worker %d: %s: %v", w.id, method, r)
+			}
+		}()
+		r := transport.NewReader(req)
+		switch method {
+		case MethodGetX:
+			requester := int(r.Int32())
+			rows := w.pairRows[requester]
+			if rows == nil {
+				return nil, fmt.Errorf("worker %d: no pair set for requester %d", w.id, requester)
+			}
+			return ec.RespondRaw(w.x.GatherRows(int32sToInts(rows))), nil
+
+		case MethodGetH:
+			l := int(r.Byte())
+			t := int(r.Uint32())
+			requester := int(r.Int32())
+			var subset []int32
+			if r.Byte() == 1 {
+				subset = r.Int32s()
+			}
+			rows := w.pairRows[requester]
+			if rows == nil {
+				return nil, fmt.Errorf("worker %d: no pair set for requester %d", w.id, requester)
+			}
+			h := w.hStore.Wait(l, t)
+			sel := rows
+			if subset != nil {
+				sel = make([]int32, len(subset))
+				for i, p := range subset {
+					sel[i] = rows[p]
+				}
+			}
+			m := h.GatherRows(int32sToInts(sel))
+			switch w.cfg.Opts.FPScheme {
+			case SchemeRaw:
+				return ec.RespondRaw(m), nil
+			case SchemeCompress:
+				return ec.RespondCompressOnly(m, w.FPBits()), nil
+			case SchemeEC:
+				payload, stats := w.fpResp[l][requester].Respond(m, t, w.FPBits())
+				if !stats.Exact {
+					w.totalRows.Add(int64(stats.Rows))
+					w.predictedRows.Add(int64(stats.Predicted))
+				}
+				return payload, nil
+			default:
+				return nil, fmt.Errorf("worker %d: bad FP scheme %v", w.id, w.cfg.Opts.FPScheme)
+			}
+
+		case MethodGetG:
+			l := int(r.Byte())
+			t := int(r.Uint32())
+			requester := int(r.Int32())
+			rows := w.pairRows[requester]
+			if rows == nil {
+				return nil, fmt.Errorf("worker %d: no pair set for requester %d", w.id, requester)
+			}
+			g := w.gStore.Wait(l, t)
+			m := g.GatherRows(int32sToInts(rows))
+			switch w.cfg.Opts.BPScheme {
+			case SchemeRaw:
+				return ec.RespondRaw(m), nil
+			case SchemeCompress:
+				return ec.RespondCompressOnlyGrad(m, w.cfg.Opts.BPBits), nil
+			case SchemeEC:
+				return w.bpResp[l][requester].Respond(m, w.cfg.Opts.BPBits), nil
+			case SchemeTopK:
+				return w.topkResp[l][requester].Respond(m), nil
+			default:
+				return nil, fmt.Errorf("worker %d: bad BP scheme %v", w.id, w.cfg.Opts.BPScheme)
+			}
+
+		case MethodLogits:
+			t := int(r.Uint32())
+			ids, logits := w.Logits(t)
+			out := transport.NewWriter(8 + len(ids)*4 + len(logits.Data)*4)
+			out.Int32s(ids)
+			out.Matrix(logits)
+			return out.Bytes(), nil
+
+		default:
+			return nil, fmt.Errorf("worker %d: unknown method %q", w.id, method)
+		}
+	}
+}
+
+// ResidualNorms returns the current ResEC-BP residual norms per layer
+// (summed over requesters); zero-valued when ResEC is off. Used by tests
+// and the Theorem-1 diagnostics.
+func (w *Worker) ResidualNorms() []float64 {
+	L := w.cfg.Model.NumLayers()
+	out := make([]float64, L+1)
+	for l := 2; l <= L; l++ {
+		if w.bpResp[l] == nil {
+			continue
+		}
+		for _, r := range w.bpResp[l] {
+			if r != nil {
+				out[l] += r.ResidualNorm()
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package worker
+
+import (
+	"fmt"
+	"sync"
+
+	"ecgraph/internal/tensor"
+)
+
+// matStore is the per-worker shared-memory publication point for owned-row
+// matrices (embeddings H or gradients G). The worker's main goroutine
+// publishes a layer's rows once computed; peer requests — which arrive on
+// other goroutines via the transport handler — block until the exact
+// (layer, epoch) they need is available.
+//
+// Lockstep training (the parameter-server barrier) guarantees a published
+// entry is never overwritten while a peer might still need it; a request
+// for an epoch older than the stored one is therefore a protocol bug and
+// panics loudly rather than returning stale data.
+type matStore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	mats  []*tensor.Matrix // per layer
+	epoch []int            // epoch tag per layer, −1 when never published
+}
+
+func newMatStore(layers int) *matStore {
+	s := &matStore{mats: make([]*tensor.Matrix, layers), epoch: make([]int, layers)}
+	for i := range s.epoch {
+		s.epoch[i] = -1
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Put publishes m as layer's rows for the given epoch and wakes waiters.
+func (s *matStore) Put(layer, epoch int, m *tensor.Matrix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mats[layer] = m
+	s.epoch[layer] = epoch
+	s.cond.Broadcast()
+}
+
+// Wait blocks until layer is published for epoch and returns the matrix.
+func (s *matStore) Wait(layer, epoch int) *tensor.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.epoch[layer] < epoch {
+		s.cond.Wait()
+	}
+	if s.epoch[layer] > epoch {
+		panic(fmt.Sprintf("worker: request for layer %d epoch %d after epoch %d was published", layer, epoch, s.epoch[layer]))
+	}
+	return s.mats[layer]
+}

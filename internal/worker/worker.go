@@ -1,0 +1,535 @@
+package worker
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ecgraph/internal/ec"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/ps"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+)
+
+// Scheme selects how ghost messages are encoded on the wire.
+type Scheme int
+
+const (
+	// SchemeRaw ships float32 rows unmodified (the paper's Non-cp arm).
+	SchemeRaw Scheme = iota
+	// SchemeCompress applies B-bit bucket quantisation without
+	// compensation (Cp-fp / Cp-bp).
+	SchemeCompress
+	// SchemeEC enables the paper's compensation: ReqEC-FP for embeddings,
+	// ResEC-BP for embedding gradients.
+	SchemeEC
+	// SchemeTopK (backward only) replaces the quantiser with Top-K
+	// sparsification under the same error-feedback loop — "Sparsified SGD
+	// with Memory", the paper's reference [32] — with k matched to the
+	// BPBits byte budget.
+	SchemeTopK
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRaw:
+		return "raw"
+	case SchemeCompress:
+		return "compress"
+	case SchemeEC:
+		return "ec"
+	case SchemeTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options configures a worker's communication behaviour.
+type Options struct {
+	FPScheme Scheme
+	BPScheme Scheme
+	FPBits   int // quantisation width for embeddings
+	BPBits   int // quantisation width for embedding gradients
+	// AdaptiveBits enables the Bit-Tuner: each responding worker adjusts its
+	// FP bit width from the fraction of predicted-approximation wins.
+	AdaptiveBits bool
+	// Ttr is the trend-group length of ReqEC-FP (the paper uses 10).
+	Ttr int
+	// MatrixWiseSelector switches ReqEC-FP's selector from the paper's
+	// vertex-wise granularity to matrix-wise (one approximation per
+	// message) — the §IV-B granularity ablation.
+	MatrixWiseSelector bool
+	// DelayRounds ≥ 2 enables DistGNN-style delayed remote aggregation:
+	// each epoch only ~1/DelayRounds of the ghost embeddings are refreshed,
+	// the rest reuse stale cached values. Requires FPScheme == SchemeRaw.
+	DelayRounds int
+}
+
+// RPC method names served by Worker.Handler.
+const (
+	MethodGetX   = "w.getX"
+	MethodGetH   = "w.getH"
+	MethodGetG   = "w.getG"
+	MethodLogits = "w.logits"
+)
+
+// Config wires one worker into the cluster.
+type Config struct {
+	ID    int
+	Net   transport.Network
+	Topo  *Topology
+	Adj   *graph.NormAdjacency // global normalised adjacency, read-only
+	Feats *tensor.Matrix       // global feature matrix, read-only
+	// Labels and TrainMask are global; the worker extracts its owned rows.
+	Labels    []int
+	TrainMask []bool
+	// NumTrainGlobal is the cluster-wide training-vertex count used to
+	// scale the loss gradient.
+	NumTrainGlobal int
+	Model          *nn.Model // this worker's own replica (not shared)
+	PS             *ps.Client
+	Opts           Options
+}
+
+// localAdj is the worker's slice of Â: one row per owned vertex, columns in
+// compact local indexing (owned rows first, then ghosts in fetch order).
+type localAdj struct {
+	rowPtr []int32
+	colIdx []int32
+	val    []float32
+}
+
+// spmm computes rows of Â·Hcat for the worker's owned vertices, where Hcat
+// stacks owned rows above ghost rows in local indexing.
+func (a *localAdj) spmm(hcat *tensor.Matrix) *tensor.Matrix {
+	nRows := len(a.rowPtr) - 1
+	out := tensor.New(nRows, hcat.Cols)
+	work := func(lo, hi int) {
+		cols := hcat.Cols
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*cols : (i+1)*cols]
+			for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+				c, w := a.colIdx[p], a.val[p]
+				hrow := hcat.Data[int(c)*cols : (int(c)+1)*cols]
+				for j, x := range hrow {
+					orow[j] += w * x
+				}
+			}
+		}
+	}
+	if nRows*hcat.Cols < 4096 {
+		work(0, nRows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nRows {
+		workers = nRows
+	}
+	chunk := (nRows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > nRows {
+			hi = nRows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Worker is one EC-Graph computation node.
+type Worker struct {
+	cfg  Config
+	id   int
+	topo *Topology
+
+	owned      []int32         // sorted owned vertex ids
+	ownedPos   map[int32]int32 // global id → owned row
+	ghostIDs   []int32         // concatenated ghost ids, grouped by owner
+	ghostPos   map[int32]int32 // global id → ghost slot
+	ghostOwner []int           // peer worker ids with non-empty Needs, ascending
+	ghostBase  map[int]int     // owner → first ghost slot of its group
+
+	adj *localAdj
+
+	x         *tensor.Matrix // owned feature rows
+	ghostX    *tensor.Matrix // cached ghost feature rows (first-hop cache)
+	labels    []int          // owned labels
+	trainMask []bool         // owned train mask
+	nTrain    int            // owned training vertices
+
+	// pairRows[i] are the owned-matrix row indices this worker serves to
+	// requester i (the rows of Needs[i][id] in owned indexing).
+	pairRows [][]int32
+
+	hStore *matStore // owned H rows per layer (layer L holds the logits)
+	gStore *matStore // owned G rows per layer
+
+	// Per-epoch FP state kept for BP.
+	ah   []*tensor.Matrix // AH^{l-1} per layer l (aggregated pre-weight input)
+	z    []*tensor.Matrix // Z^l owned pre-activations
+	ownH []*tensor.Matrix // H^l owned rows, ownH[0] = x
+
+	// EC state, preallocated per (layer, peer); nil entries where unused.
+	fpResp   [][]*ec.ForwardResponder // [layer][requester]
+	fpReq    [][]*ec.ForwardRequester // [layer][owner]
+	bpResp   [][]*ec.BackwardResponder
+	topkResp [][]*ec.TopKResponder
+
+	tuner         *ec.BitTuner
+	predictedRows atomic.Int64
+	totalRows     atomic.Int64
+
+	// DistGNN delayed-aggregation ghost caches per layer.
+	ghostHCache []*tensor.Matrix
+}
+
+// New builds the worker's local structures from the global graph. It does
+// not perform any communication; call FetchGhostFeatures once all workers
+// are registered on the network.
+func New(cfg Config) *Worker {
+	if cfg.Opts.DelayRounds >= 2 && cfg.Opts.FPScheme != SchemeRaw {
+		panic("worker: delayed aggregation requires SchemeRaw in FP")
+	}
+	if cfg.Opts.Ttr == 0 {
+		cfg.Opts.Ttr = 10
+	}
+	L := cfg.Model.NumLayers()
+	w := &Worker{
+		cfg:       cfg,
+		id:        cfg.ID,
+		topo:      cfg.Topo,
+		owned:     cfg.Topo.Owned[cfg.ID],
+		ownedPos:  make(map[int32]int32),
+		ghostPos:  make(map[int32]int32),
+		ghostBase: make(map[int]int),
+		hStore:    newMatStore(L + 1),
+		gStore:    newMatStore(L + 1),
+		ah:        make([]*tensor.Matrix, L+1),
+		z:         make([]*tensor.Matrix, L+1),
+		ownH:      make([]*tensor.Matrix, L+1),
+	}
+	for i, v := range w.owned {
+		w.ownedPos[v] = int32(i)
+	}
+	for j := 0; j < cfg.Topo.NumWorkers; j++ {
+		lst := cfg.Topo.Needs[cfg.ID][j]
+		if len(lst) == 0 {
+			continue
+		}
+		w.ghostOwner = append(w.ghostOwner, j)
+		w.ghostBase[j] = len(w.ghostIDs)
+		for _, u := range lst {
+			w.ghostPos[u] = int32(len(w.ghostIDs))
+			w.ghostIDs = append(w.ghostIDs, u)
+		}
+	}
+
+	// Local CSR over owned rows with compact column indexing.
+	nOwned := len(w.owned)
+	rowPtr := make([]int32, nOwned+1)
+	var colIdx []int32
+	var val []float32
+	for i, v := range w.owned {
+		for p := cfg.Adj.RowPtr[v]; p < cfg.Adj.RowPtr[v+1]; p++ {
+			u := cfg.Adj.ColIdx[p]
+			var c int32
+			if pos, ok := w.ownedPos[u]; ok {
+				c = pos
+			} else if pos, ok := w.ghostPos[u]; ok {
+				c = int32(nOwned) + pos
+			} else {
+				panic(fmt.Sprintf("worker %d: neighbour %d of %d neither owned nor ghost", cfg.ID, u, v))
+			}
+			colIdx = append(colIdx, c)
+			val = append(val, cfg.Adj.Val[p])
+		}
+		rowPtr[i+1] = int32(len(colIdx))
+	}
+	w.adj = &localAdj{rowPtr: rowPtr, colIdx: colIdx, val: val}
+
+	// Owned slices of features, labels and masks.
+	w.x = cfg.Feats.GatherRows(int32sToInts(w.owned))
+	w.ownH[0] = w.x
+	w.labels = make([]int, nOwned)
+	w.trainMask = make([]bool, nOwned)
+	for i, v := range w.owned {
+		w.labels[i] = cfg.Labels[v]
+		w.trainMask[i] = cfg.TrainMask[v]
+		if w.trainMask[i] {
+			w.nTrain++
+		}
+	}
+
+	// Responder row lists per requester.
+	w.pairRows = make([][]int32, cfg.Topo.NumWorkers)
+	for i := 0; i < cfg.Topo.NumWorkers; i++ {
+		lst := cfg.Topo.Needs[i][cfg.ID]
+		if len(lst) == 0 {
+			continue
+		}
+		rows := make([]int32, len(lst))
+		for k, u := range lst {
+			rows[k] = w.ownedPos[u]
+		}
+		w.pairRows[i] = rows
+	}
+
+	// EC state. FP responders/requesters cover embedding layers 1..L−1
+	// (layer 0 is the feature cache); BP responders cover layers 2..L.
+	w.fpResp = make([][]*ec.ForwardResponder, L+1)
+	w.fpReq = make([][]*ec.ForwardRequester, L+1)
+	w.bpResp = make([][]*ec.BackwardResponder, L+1)
+	if cfg.Opts.FPScheme == SchemeEC {
+		for l := 1; l < L; l++ {
+			w.fpResp[l] = make([]*ec.ForwardResponder, cfg.Topo.NumWorkers)
+			w.fpReq[l] = make([]*ec.ForwardRequester, cfg.Topo.NumWorkers)
+			for i := range w.pairRows {
+				if w.pairRows[i] != nil {
+					r := ec.NewForwardResponder(cfg.Opts.Ttr)
+					if cfg.Opts.MatrixWiseSelector {
+						r.Granularity = ec.GranularityMatrix
+					}
+					w.fpResp[l][i] = r
+				}
+			}
+			for _, j := range w.ghostOwner {
+				w.fpReq[l][j] = ec.NewForwardRequester(cfg.Opts.Ttr)
+			}
+		}
+	}
+	if cfg.Opts.BPScheme == SchemeEC {
+		for l := 2; l <= L; l++ {
+			w.bpResp[l] = make([]*ec.BackwardResponder, cfg.Topo.NumWorkers)
+			for i := range w.pairRows {
+				if w.pairRows[i] != nil {
+					w.bpResp[l][i] = ec.NewBackwardResponder()
+				}
+			}
+		}
+	}
+	if cfg.Opts.BPScheme == SchemeTopK {
+		w.topkResp = make([][]*ec.TopKResponder, L+1)
+		for l := 2; l <= L; l++ {
+			w.topkResp[l] = make([]*ec.TopKResponder, cfg.Topo.NumWorkers)
+			for i := range w.pairRows {
+				if w.pairRows[i] != nil {
+					w.topkResp[l][i] = ec.NewTopKResponder(cfg.Opts.BPBits)
+				}
+			}
+		}
+	}
+	if cfg.Opts.AdaptiveBits {
+		w.tuner = ec.NewBitTuner(cfg.Opts.FPBits)
+	}
+	if cfg.Opts.DelayRounds >= 2 {
+		w.ghostHCache = make([]*tensor.Matrix, L+1)
+	}
+	return w
+}
+
+func int32sToInts(v []int32) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// NumOwned returns the number of vertices this worker owns.
+func (w *Worker) NumOwned() int { return len(w.owned) }
+
+// NumGhosts returns the number of remote 1-hop neighbours this worker
+// caches.
+func (w *Worker) NumGhosts() int { return len(w.ghostIDs) }
+
+// FPBits returns the current forward bit width (tuned or fixed).
+func (w *Worker) FPBits() int {
+	if w.tuner != nil {
+		return w.tuner.Bits
+	}
+	return w.cfg.Opts.FPBits
+}
+
+// FetchGhostFeatures pulls the owned feature rows of every ghost vertex
+// from its owner and caches them — the paper's first-hop remote-neighbour
+// cache (§III-A). Must run after all workers are registered; the traffic is
+// preprocessing, not per-epoch communication.
+func (w *Worker) FetchGhostFeatures() error {
+	w.ghostX = tensor.New(len(w.ghostIDs), w.cfg.Feats.Cols)
+	for _, j := range w.ghostOwner {
+		req := transport.NewWriter(4)
+		req.Int32(int32(w.id))
+		resp, err := w.cfg.Net.Call(w.id, j, MethodGetX, req.Bytes())
+		if err != nil {
+			return fmt.Errorf("worker %d: fetch ghost features from %d: %w", w.id, j, err)
+		}
+		rows := ec.ParseMatrix(resp)
+		base := w.ghostBase[j]
+		for r := 0; r < rows.Rows; r++ {
+			copy(w.ghostX.Row(base+r), rows.Row(r))
+		}
+	}
+	return nil
+}
+
+// EpochReport summarises a worker's contribution to one epoch.
+type EpochReport struct {
+	LocalLossSum float64 // Σ −log p(label) over owned training vertices
+	TrainCount   int
+	FPBits       int // bit width in effect after the tuner update
+}
+
+// RunEpoch executes iteration t: pull parameters at version t, forward
+// propagation (Alg. 1), loss gradient, backward propagation (Alg. 2), push
+// gradients. It blocks on peers as needed and returns the local report.
+func (w *Worker) RunEpoch(t int) (EpochReport, error) {
+	flat, err := w.cfg.PS.Pull(t)
+	if err != nil {
+		return EpochReport{}, fmt.Errorf("worker %d: pull: %w", w.id, err)
+	}
+	model := w.cfg.Model
+	model.SetFlatParams(flat)
+	L := model.NumLayers()
+
+	// ---- Forward propagation ----
+	h := w.x
+	for l := 1; l <= L; l++ {
+		var ghost *tensor.Matrix
+		if l == 1 {
+			ghost = w.ghostX
+		} else {
+			ghost, err = w.fetchGhostH(l-1, t)
+			if err != nil {
+				return EpochReport{}, err
+			}
+		}
+		hcat := stack(h, ghost)
+		ah := w.adj.spmm(hcat)
+		w.ah[l] = ah
+		layer := model.Layers[l-1]
+		z := ah.MatMul(layer.W)
+		if layer.WSelf != nil {
+			z.AddInPlace(h.MatMul(layer.WSelf))
+		}
+		z.AddRowVector(layer.Bias)
+		w.z[l] = z
+		if l < L {
+			h = z.ReLU()
+		} else {
+			h = z
+		}
+		w.ownH[l] = h
+		w.hStore.Put(l, t, h)
+	}
+
+	// ---- Loss gradient over owned training vertices ----
+	report := EpochReport{TrainCount: w.nTrain}
+	logits := w.ownH[L]
+	g := tensor.New(logits.Rows, logits.Cols)
+	if w.cfg.NumTrainGlobal > 0 {
+		inv := float32(1 / float64(w.cfg.NumTrainGlobal))
+		for i := 0; i < logits.Rows; i++ {
+			if !w.trainMask[i] {
+				continue
+			}
+			row := logits.Row(i)
+			mx := row[0]
+			for _, v := range row[1:] {
+				if v > mx {
+					mx = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(float64(v - mx))
+			}
+			logZ := float64(mx) + math.Log(sum)
+			y := w.labels[i]
+			report.LocalLossSum += logZ - float64(row[y])
+			grow := g.Row(i)
+			for j, v := range row {
+				p := float32(math.Exp(float64(v)-logZ)) * inv
+				if j == y {
+					p -= inv
+				}
+				grow[j] = p
+			}
+		}
+	}
+
+	// ---- Backward propagation ----
+	grads := nn.NewGradients(model)
+	for l := L; l >= 1; l-- {
+		if l >= 2 {
+			w.gStore.Put(l, t, g)
+		}
+		layer := model.Layers[l-1]
+		grads.Layers[l-1].W = w.ah[l].TMatMul(g)
+		if layer.WSelf != nil {
+			grads.Layers[l-1].WSelf = w.ownH[l-1].TMatMul(g)
+		}
+		grads.Layers[l-1].Bias = g.ColSums()
+		if l == 1 {
+			break
+		}
+		ghostG, err := w.fetchGhostG(l, t)
+		if err != nil {
+			return EpochReport{}, err
+		}
+		gcat := stack(g, ghostG)
+		ag := w.adj.spmm(gcat)
+		gPrev := ag.MatMulT(layer.W)
+		if layer.WSelf != nil {
+			gPrev.AddInPlace(g.MatMulT(layer.WSelf))
+		}
+		g = gPrev.HadamardInPlace(w.z[l-1].ReLUGrad())
+	}
+
+	if err := w.cfg.PS.Push(grads.Flatten()); err != nil {
+		return EpochReport{}, fmt.Errorf("worker %d: push: %w", w.id, err)
+	}
+
+	// Bit-Tuner update from this epoch's responder-side selector outcomes.
+	if w.tuner != nil {
+		total := w.totalRows.Swap(0)
+		predicted := w.predictedRows.Swap(0)
+		if total > 0 {
+			w.tuner.Update(float64(predicted) / float64(total))
+		}
+	}
+	report.FPBits = w.FPBits()
+	return report, nil
+}
+
+// stack concatenates owned rows above ghost rows. Either part may be empty.
+func stack(owned, ghost *tensor.Matrix) *tensor.Matrix {
+	if ghost == nil || ghost.Rows == 0 {
+		return owned
+	}
+	out := tensor.New(owned.Rows+ghost.Rows, owned.Cols)
+	copy(out.Data[:len(owned.Data)], owned.Data)
+	copy(out.Data[len(owned.Data):], ghost.Data)
+	return out
+}
+
+// Logits returns the owned vertex ids and their final-layer logits from the
+// most recent epoch; used by the engine for evaluation.
+func (w *Worker) Logits(epoch int) ([]int32, *tensor.Matrix) {
+	L := w.cfg.Model.NumLayers()
+	return w.owned, w.hStore.Wait(L, epoch)
+}
