@@ -4,14 +4,21 @@
 // transport counts. It demonstrates that the protocol is not tied to the
 // in-process harness.
 //
+// The -chaos-* flags layer seeded fault injection over the sockets and wrap
+// the stack in the retrying transport, exercising the full fault-tolerance
+// path end to end:
+//
 //	ecgraph-tcpdemo -dataset cora -workers 3 -epochs 20
+//	ecgraph-tcpdemo -chaos-drop 0.05 -chaos-crash 1:200:400 -chaos-seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"ecgraph/internal/core"
 	"ecgraph/internal/datasets"
@@ -21,6 +28,23 @@ import (
 	"ecgraph/internal/worker"
 )
 
+// parseCrashWindow parses "node:from:to" into a CrashWindow.
+func parseCrashWindow(s string) (transport.CrashWindow, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return transport.CrashWindow{}, fmt.Errorf("crash window %q: want node:from:to", s)
+	}
+	var vals [3]int64
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return transport.CrashWindow{}, fmt.Errorf("crash window %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	return transport.CrashWindow{Node: int(vals[0]), From: vals[1], To: vals[2]}, nil
+}
+
 func main() {
 	var (
 		dataset = flag.String("dataset", "cora", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
@@ -28,6 +52,16 @@ func main() {
 		servers = flag.Int("servers", 1, "number of parameter servers")
 		epochs  = flag.Int("epochs", 20, "training epochs")
 		bits    = flag.Int("bits", 2, "compression bits for both directions")
+
+		chaosDrop  = flag.Float64("chaos-drop", 0, "probability a remote call is dropped")
+		chaosErr   = flag.Float64("chaos-err", 0, "probability a remote call gets an injected error response")
+		chaosSpike = flag.Float64("chaos-spike", 0, "probability a remote call is delayed by -chaos-latency")
+		chaosLat   = flag.Duration("chaos-latency", 5*time.Millisecond, "latency spike duration")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for reproducible fault injection")
+		chaosCrash = flag.String("chaos-crash", "", "crash window node:from:to over the chaos call sequence (comma-separated for several)")
+
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
+		attempts = flag.Int("max-attempts", 4, "attempts per call, first try included")
 	)
 	flag.Parse()
 
@@ -40,14 +74,48 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	net, err := transport.NewTCPCluster(*workers + *servers)
+	tcp, err := transport.NewTCPCluster(*workers + *servers)
 	if err != nil {
 		fail(err)
 	}
-	defer net.Close()
+	defer tcp.Close()
 	for i := 0; i < *workers+*servers; i++ {
-		fmt.Printf("node %d listening on %s\n", i, net.Addr(i))
+		fmt.Printf("node %d listening on %s\n", i, tcp.Addr(i))
 	}
+
+	// Stack: Reliable(Chaos(TCP)). Chaos injects faults below the retry
+	// layer, so retries see fresh fault draws — exactly how a flaky real
+	// network behaves.
+	var net transport.Network = tcp
+	var chaos *transport.Chaos
+	chaotic := *chaosDrop > 0 || *chaosErr > 0 || *chaosSpike > 0 || *chaosCrash != ""
+	if chaotic {
+		ccfg := transport.ChaosConfig{
+			Seed:        *chaosSeed,
+			DropRate:    *chaosDrop,
+			ErrorRate:   *chaosErr,
+			LatencyRate: *chaosSpike,
+			Latency:     *chaosLat,
+		}
+		if *chaosCrash != "" {
+			for _, s := range strings.Split(*chaosCrash, ",") {
+				w, err := parseCrashWindow(s)
+				if err != nil {
+					fail(err)
+				}
+				ccfg.Crash = append(ccfg.Crash, w)
+			}
+		}
+		chaos = transport.NewChaos(tcp, ccfg)
+		net = chaos
+		fmt.Printf("chaos enabled: drop %.2f, err %.2f, spike %.2f (%v), seed %d, crash %q\n",
+			*chaosDrop, *chaosErr, *chaosSpike, *chaosLat, *chaosSeed, *chaosCrash)
+	}
+	net = transport.NewReliable(net, *workers+*servers, transport.ReliableConfig{
+		Timeout:     *timeout,
+		MaxAttempts: *attempts,
+		Seed:        *chaosSeed,
+	})
 
 	res, err := core.Train(core.Config{
 		Dataset: d,
@@ -67,10 +135,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var bytes int64
+	var bytes, retries, timeouts, giveups int64
+	var degraded int
 	for _, e := range res.Epochs {
 		bytes += e.Bytes
+		retries += e.Retries
+		timeouts += e.Timeouts
+		giveups += e.GiveUps
+		degraded += e.DegradedFetches
 	}
 	fmt.Printf("\ntrained %d epochs over TCP: test accuracy %.4f, %s moved across sockets\n",
 		*epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
+	if chaotic {
+		inj := chaos.Injected()
+		fmt.Printf("injected: %d drops, %d errors, %d spikes, %d crashed calls\n",
+			inj.Drops, inj.Errors, inj.Spikes, inj.CrashedCalls)
+		fmt.Printf("recovered: %d retries, %d timeouts, %d give-ups, %d degraded ghost fetches\n",
+			retries, timeouts, giveups, degraded)
+	}
 }

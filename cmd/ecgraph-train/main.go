@@ -54,6 +54,10 @@ func main() {
 		lr       = flag.Float64("lr", 0.01, "learning rate")
 		seed     = flag.Int64("seed", 1, "random seed")
 		traceOut = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file")
+
+		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
+		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
+		resume          = flag.String("resume", "", "resume training from this checkpoint file")
 	)
 	flag.Parse()
 
@@ -92,6 +96,9 @@ func main() {
 		hiddenDims[i] = *hidden
 	}
 
+	if *model == "gat" && (*checkpoint != "" || *resume != "") {
+		fail(fmt.Errorf("-checkpoint/-resume are not supported for the GAT trainer"))
+	}
 	if *model == "gat" {
 		res, err := gatdist.Train(gatdist.Config{
 			Dataset: d, Hidden: hiddenDims,
@@ -124,9 +131,15 @@ func main() {
 			FPBits: *fpBits, BPBits: *bpBits,
 			AdaptiveBits: *adaptive, Ttr: *ttr, DelayRounds: *delay,
 		},
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		ResumeFrom:      *resume,
 	}
 	fmt.Printf("training %s on %s: %d layers, %d workers, fp=%s(%d bits) bp=%s(%d bits)\n",
 		*model, d.Name, *layers, *workers, *fp, *fpBits, *bp, *bpBits)
+	if *resume != "" {
+		fmt.Printf("resuming from %s\n", *resume)
+	}
 
 	res, err := core.Train(cfg)
 	if err != nil {

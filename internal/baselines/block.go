@@ -260,7 +260,7 @@ func (bw *blockWorker) runEpoch(t int) error {
 		gradOut.ScaleInPlace(float32(n) / float32(bw.nTrainGlobal))
 	}
 	grads := bw.model.Backward(bw.adj, acts, gradOut)
-	return bw.psc.Push(grads.Flatten())
+	return bw.psc.Push(t, grads.Flatten())
 }
 
 func countTrue(mask []bool) int {

@@ -1,0 +1,150 @@
+// Checkpointing: a crashed or interrupted training run resumes from its
+// last saved state instead of restarting. A checkpoint captures the model
+// parameters (serialised through nn.Model.Save, so the file embeds the
+// model's own magic, kind and dims), the full-length Adam moment vectors
+// with their timestep and current learning rate, the applied-update count,
+// and the best-validation bookkeeping — everything the engine needs to
+// continue the exact optimiser trajectory. The error-compensation trend
+// state is deliberately not persisted: both endpoints of every EC pair
+// rebuild it consistently from scratch, costing at most one trend group of
+// extra traffic after resume.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ecgraph/internal/nn"
+)
+
+// checkpointMagic identifies the checkpoint format ("ECK" + version 1).
+var checkpointMagic = [4]byte{'E', 'C', 'K', 1}
+
+// Checkpoint is a resumable snapshot of a training run.
+type Checkpoint struct {
+	Epoch      int     // completed epochs == parameter-server version
+	BestVal    float64 // best validation accuracy so far
+	BestEpoch  int
+	TestAtBest float64 // test accuracy at the best validation epoch
+
+	Model *nn.Model // trained parameters at Epoch
+
+	AdamM, AdamV []float64 // full-length moment vectors, range order
+	AdamT        int
+	LR           float64 // current (possibly decayed) learning rate
+}
+
+// Save writes the checkpoint to w.
+func (c *Checkpoint) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(c.Epoch), uint32(c.BestEpoch), uint32(c.AdamT)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{c.BestVal, c.TestAtBest, c.LR} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := c.Model.Save(bw); err != nil {
+		return err
+	}
+	if len(c.AdamM) != len(c.AdamV) {
+		return fmt.Errorf("core: checkpoint moment lengths differ: %d vs %d", len(c.AdamM), len(c.AdamV))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.AdamM))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.AdamM); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.AdamV); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint serialised by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %v", magic)
+	}
+	c := &Checkpoint{}
+	var epoch, bestEpoch, adamT uint32
+	for _, p := range []*uint32{&epoch, &bestEpoch, &adamT} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	c.Epoch, c.BestEpoch, c.AdamT = int(epoch), int(bestEpoch), int(adamT)
+	for _, p := range []*float64{&c.BestVal, &c.TestAtBest, &c.LR} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	m, err := nn.Load(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint model: %w", err)
+	}
+	c.Model = m
+	var nMoments uint64
+	if err := binary.Read(br, binary.LittleEndian, &nMoments); err != nil {
+		return nil, err
+	}
+	if int(nMoments) != m.ParamCount() {
+		return nil, fmt.Errorf("core: checkpoint has %d moments for %d params", nMoments, m.ParamCount())
+	}
+	c.AdamM = make([]float64, nMoments)
+	c.AdamV = make([]float64, nMoments)
+	if err := binary.Read(br, binary.LittleEndian, c.AdamM); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, c.AdamV); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SaveFile writes the checkpoint atomically: a temp file in the same
+// directory is renamed over path, so a crash mid-write never corrupts the
+// previous checkpoint.
+func (c *Checkpoint) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpointFile reads a checkpoint from path.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

@@ -70,6 +70,18 @@ type Config struct {
 	// modelling heterogeneous clusters — e.g. one worker behind a slower
 	// link. The slowest node still gates the epoch.
 	NodeCosts []transport.CostModel
+
+	// CheckpointPath, when non-empty, makes Train atomically write a
+	// resumable checkpoint (model + Adam state + progress) to this file every
+	// CheckpointEvery epochs and at the end of the run.
+	CheckpointPath string
+	// CheckpointEvery defaults to 10 when checkpointing is enabled.
+	CheckpointEvery int
+	// ResumeFrom, when non-empty, loads a checkpoint file before training and
+	// continues from its epoch instead of starting fresh. The EC trend state
+	// is rebuilt from scratch (see Checkpoint); optimiser trajectory and
+	// best-validation bookkeeping carry over exactly.
+	ResumeFrom string
 }
 
 // costFor returns the cost model governing a node's link.
@@ -99,6 +111,15 @@ type EpochStats struct {
 	ValAcc            float64
 	TestAcc           float64
 	FPBits            []int // per-worker forward bit width after tuning
+
+	// Fault-tolerance counters, all zero on a healthy transport: attempts
+	// retried / timed out / abandoned by the Reliable wrapper (summed over
+	// nodes), and ghost exchanges served from stale caches or EC prediction
+	// after retries were exhausted (summed over workers).
+	Retries         int64
+	Timeouts        int64
+	GiveUps         int64
+	DegradedFetches int
 }
 
 // Result is the outcome of Train.
@@ -228,11 +249,44 @@ func Train(c Config) (*Result, error) {
 	flat := template.FlattenParams()
 	ranges := ps.Ranges(len(flat), cfg.Servers)
 	serverNodes := make([]int, cfg.Servers)
+	servers := make([]*ps.Server, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		node := cfg.Workers + i
 		serverNodes[i] = node
-		srv := ps.NewServerOpts(flat[ranges[i].Lo:ranges[i].Hi], cfg.LR, cfg.Workers, cfg.Optim)
-		net.Register(node, srv.Handler())
+		servers[i] = ps.NewServerOpts(flat[ranges[i].Lo:ranges[i].Hi], cfg.LR, cfg.Workers, cfg.Optim)
+		net.Register(node, servers[i].Handler())
+	}
+
+	// Resume: overwrite every server's range with the checkpointed state.
+	// The checkpoint stores full-length vectors, so the re-split works even
+	// under a different server count than the run that wrote it.
+	startEpoch := 0
+	if cfg.ResumeFrom != "" {
+		ckpt, err := LoadCheckpointFile(cfg.ResumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if err := ckpt.compatibleWith(cfg.Kind, dims); err != nil {
+			return nil, fmt.Errorf("core: resume from %s: %w", cfg.ResumeFrom, err)
+		}
+		ckptFlat := ckpt.Model.FlattenParams()
+		for i, srv := range servers {
+			rg := ranges[i]
+			if err := srv.Restore(ps.State{
+				Params:  ckptFlat[rg.Lo:rg.Hi],
+				AdamM:   ckpt.AdamM[rg.Lo:rg.Hi],
+				AdamV:   ckpt.AdamV[rg.Lo:rg.Hi],
+				AdamT:   ckpt.AdamT,
+				LR:      ckpt.LR,
+				Version: ckpt.Epoch,
+			}); err != nil {
+				return nil, fmt.Errorf("core: resume server %d: %w", i, err)
+			}
+		}
+		startEpoch = ckpt.Epoch
+		res.BestVal = ckpt.BestVal
+		res.BestEpoch = ckpt.BestEpoch
+		res.TestAccuracy = ckpt.TestAtBest
 	}
 
 	nTrain := len(d.TrainIdx())
@@ -265,9 +319,14 @@ func Train(c Config) (*Result, error) {
 	net.ResetStats()
 
 	// ---- Training epochs ----
+	ckptEvery := cfg.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 10
+	}
 	valIdx, testIdx := d.ValIdx(), d.TestIdx()
 	reports := make([]worker.EpochReport, cfg.Workers)
-	for t := 0; t < cfg.Epochs; t++ {
+	lastVersion := startEpoch
+	for t := startEpoch; t < cfg.Epochs; t++ {
 		epochStart := time.Now()
 		if err := runAllIdx(workers, func(i int, w *worker.Worker) error {
 			var err error
@@ -285,6 +344,9 @@ func Train(c Config) (*Result, error) {
 			s := net.NodeStats(node)
 			totalBytes += s.BytesOut // each byte counted once at its sender
 			msgs += s.Messages
+			stats.Retries += s.Retries
+			stats.Timeouts += s.Timeouts
+			stats.GiveUps += s.GiveUps
 			if s.Total() > maxBytes {
 				maxBytes = s.Total()
 			}
@@ -302,6 +364,7 @@ func Train(c Config) (*Result, error) {
 		for i := range reports {
 			lossSum += reports[i].LocalLossSum
 			stats.FPBits = append(stats.FPBits, reports[i].FPBits)
+			stats.DegradedFetches += reports[i].DegradedFetches
 		}
 		if nTrain > 0 {
 			stats.Loss = lossSum / float64(nTrain)
@@ -318,7 +381,17 @@ func Train(c Config) (*Result, error) {
 			res.TestAccuracy = stats.TestAcc
 		}
 		res.Epochs = append(res.Epochs, stats)
-		if cfg.Patience > 0 && t-res.BestEpoch >= cfg.Patience {
+		lastVersion = t + 1
+
+		stop := cfg.Patience > 0 && t-res.BestEpoch >= cfg.Patience
+		if cfg.CheckpointPath != "" && ((t+1)%ckptEvery == 0 || t == cfg.Epochs-1 || stop) {
+			// Between epochs every worker is idle, so the servers are
+			// quiescent at version t+1 and the snapshot is consistent.
+			if err := writeCheckpoint(cfg.CheckpointPath, &cfg, dims, servers, ranges, t+1, res); err != nil {
+				return nil, fmt.Errorf("core: checkpoint at epoch %d: %w", t+1, err)
+			}
+		}
+		if stop {
 			break
 		}
 	}
@@ -329,19 +402,72 @@ func Train(c Config) (*Result, error) {
 	for t, e := range res.Epochs {
 		cum += e.SimSeconds
 		if res.ConvergedEpoch == -1 && e.ValAcc >= threshold {
-			res.ConvergedEpoch = t
+			// res.Epochs is indexed from this run's first epoch; offset so a
+			// resumed run reports the same global numbering as BestEpoch.
+			res.ConvergedEpoch = startEpoch + t
 			res.ConvergenceSimSeconds = cum
 		}
 	}
 	res.TotalSimSeconds = res.PreprocessSeconds + cum
 
 	// Export the trained parameters for inference/checkpointing.
+	// lastVersion, not len(res.Epochs): a resumed run's first epoch already
+	// left the servers past version len(res.Epochs).
 	finalClient := ps.NewClient(net, 0, serverNodes, ranges)
-	res.FinalParams, err = finalClient.Pull(len(res.Epochs))
+	res.FinalParams, err = finalClient.Pull(lastVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: pull final params: %w", err)
 	}
 	return res, nil
+}
+
+// compatibleWith verifies a checkpoint matches the run's architecture.
+func (c *Checkpoint) compatibleWith(kind nn.Kind, dims []int) error {
+	if c.Model.Kind != kind {
+		return fmt.Errorf("checkpoint is %v, config wants %v", c.Model.Kind, kind)
+	}
+	if len(c.Model.Dims) != len(dims) {
+		return fmt.Errorf("checkpoint dims %v, config wants %v", c.Model.Dims, dims)
+	}
+	for i, d := range dims {
+		if c.Model.Dims[i] != d {
+			return fmt.Errorf("checkpoint dims %v, config wants %v", c.Model.Dims, dims)
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint concatenates the per-range server snapshots into one
+// full-length state and writes it atomically.
+func writeCheckpoint(path string, cfg *Config, dims []int, servers []*ps.Server, ranges []ps.Range, epoch int, res *Result) error {
+	total := ranges[len(ranges)-1].Hi
+	params := make([]float32, total)
+	adamM := make([]float64, total)
+	adamV := make([]float64, total)
+	var adamT int
+	var lr float64
+	for i, srv := range servers {
+		st := srv.Snapshot()
+		rg := ranges[i]
+		copy(params[rg.Lo:rg.Hi], st.Params)
+		copy(adamM[rg.Lo:rg.Hi], st.AdamM)
+		copy(adamV[rg.Lo:rg.Hi], st.AdamV)
+		adamT, lr = st.AdamT, st.LR
+	}
+	model := nn.NewModel(cfg.Kind, dims, cfg.Seed)
+	model.SetFlatParams(params)
+	ck := &Checkpoint{
+		Epoch:      epoch,
+		BestVal:    res.BestVal,
+		BestEpoch:  res.BestEpoch,
+		TestAtBest: res.TestAccuracy,
+		Model:      model,
+		AdamM:      adamM,
+		AdamV:      adamV,
+		AdamT:      adamT,
+		LR:         lr,
+	}
+	return ck.SaveFile(path)
 }
 
 // FinalModel reconstructs the trained model from a finished run.

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ecgraph/internal/nn"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// TestTrainThroughChaos is the robustness acceptance test: training through
+// a seeded fault storm — dropped ghost exchanges plus a node crash window —
+// behind the retrying transport must land within one accuracy point of the
+// fault-free run, with the fault counters proving the storm actually hit.
+func TestTrainThroughChaos(t *testing.T) {
+	const epochs = 40
+	clean, err := Train(coraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := coraConfig(epochs)
+	nodes := cfg.Workers + cfg.Servers
+	inner := transport.NewInProc(nodes)
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{
+		Seed:     3,
+		DropRate: 0.10,
+		// One mid-training outage: ~12 eligible ghost calls per epoch (plus
+		// retries, which also advance the sequence), so calls 240-264 reject
+		// everything touching worker 1 for roughly two epochs — long enough
+		// to force degraded fetches, short enough to stay inside the default
+		// staleness bound.
+		Crash: []transport.CrashWindow{{Node: 1, From: 240, To: 264}},
+		// Only ghost exchanges are faulted; the PS barrier stays clean so a
+		// lost push can never wedge the lockstep epoch. Parameter-path
+		// fault-tolerance is covered by the idempotent-push tests in ps.
+		Methods: []string{worker.MethodGetH, worker.MethodGetG},
+	})
+	cfg.Net = transport.NewReliable(chaos, nodes, transport.ReliableConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        3,
+	})
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var retries, giveups int64
+	var degraded int
+	for _, e := range res.Epochs {
+		retries += e.Retries
+		giveups += e.GiveUps
+		degraded += e.DegradedFetches
+	}
+	inj := chaos.Injected()
+	if inj.Drops == 0 || inj.CrashedCalls == 0 {
+		t.Fatalf("chaos injected nothing: %+v", inj)
+	}
+	if retries == 0 {
+		t.Fatalf("no retries recorded through a 10%% drop rate")
+	}
+	if degraded == 0 {
+		t.Fatalf("no degraded fetches recorded; give-ups %d, injected %+v", giveups, inj)
+	}
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.01 {
+		t.Fatalf("chaos run accuracy %.4f vs clean %.4f (|diff| %.4f > 0.01); retries %d, degraded %d",
+			res.TestAccuracy, clean.TestAccuracy, diff, retries, degraded)
+	}
+}
+
+// TestCheckpointResume kills training at the half-way checkpoint and
+// resumes: the stitched run must reproduce an uninterrupted run's accuracy.
+func TestCheckpointResume(t *testing.T) {
+	const epochs = 20
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+
+	full, err := Train(coraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half: train 10 epochs, checkpointing every 5 — the "kill" is
+	// simply stopping at epoch 10 with the checkpoint on disk.
+	half := coraConfig(epochs / 2)
+	half.CheckpointPath = ckpt
+	half.CheckpointEvery = 5
+	halfRes, err := Train(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := LoadCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != epochs/2 {
+		t.Fatalf("checkpoint at epoch %d, want %d", ck.Epoch, epochs/2)
+	}
+	if ck.AdamT != epochs/2 {
+		t.Fatalf("checkpoint AdamT %d, want %d", ck.AdamT, epochs/2)
+	}
+	if math.Abs(ck.BestVal-halfRes.BestVal) > 1e-12 {
+		t.Fatalf("checkpoint BestVal %v vs run %v", ck.BestVal, halfRes.BestVal)
+	}
+
+	// Second half resumes from the file — on a different server count, which
+	// exercises the range re-split of the full-length Adam vectors.
+	resume := coraConfig(epochs)
+	resume.Servers = 3
+	resume.ResumeFrom = ckpt
+	resumeRes, err := Train(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumeRes.Epochs) != epochs/2 {
+		t.Fatalf("resumed run trained %d epochs, want %d", len(resumeRes.Epochs), epochs/2)
+	}
+
+	// Gradient summation order differs run to run (float32), so exact
+	// equality is out of reach; the stitched trajectory must match the
+	// uninterrupted one closely.
+	if diff := math.Abs(resumeRes.TestAccuracy - full.TestAccuracy); diff > 0.02 {
+		t.Fatalf("resumed accuracy %.4f vs uninterrupted %.4f (|diff| %.4f)",
+			resumeRes.TestAccuracy, full.TestAccuracy, diff)
+	}
+	if diff := math.Abs(resumeRes.BestVal - full.BestVal); diff > 0.02 {
+		t.Fatalf("resumed best val %.4f vs uninterrupted %.4f", resumeRes.BestVal, full.BestVal)
+	}
+	last := resumeRes.Epochs[len(resumeRes.Epochs)-1]
+	fullLast := full.Epochs[len(full.Epochs)-1]
+	if math.Abs(last.Loss-fullLast.Loss) > 0.05*(1+fullLast.Loss) {
+		t.Fatalf("resumed final loss %v vs uninterrupted %v", last.Loss, fullLast.Loss)
+	}
+}
+
+// TestCheckpointFileRoundTrip covers the serialisation layer directly.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.ckpt")
+	m := nn.NewModel(nn.KindGCN, []int{4, 3, 2}, 7)
+	n := m.ParamCount()
+	in := &Checkpoint{
+		Epoch: 12, BestVal: 0.81, BestEpoch: 9, TestAtBest: 0.79,
+		Model: m,
+		AdamM: make([]float64, n), AdamV: make([]float64, n),
+		AdamT: 12, LR: 0.004,
+	}
+	for i := 0; i < n; i++ {
+		in.AdamM[i] = float64(i) * 0.5
+		in.AdamV[i] = float64(i) * 0.25
+	}
+	if err := in.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.BestEpoch != in.BestEpoch || out.AdamT != in.AdamT ||
+		out.BestVal != in.BestVal || out.TestAtBest != in.TestAtBest || out.LR != in.LR {
+		t.Fatalf("scalar fields diverged: %+v vs %+v", out, in)
+	}
+	if out.Model.Kind != nn.KindGCN || len(out.Model.Dims) != 3 {
+		t.Fatalf("model header diverged: %v %v", out.Model.Kind, out.Model.Dims)
+	}
+	a, b := in.Model.FlattenParams(), out.Model.FlattenParams()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if out.AdamM[i] != in.AdamM[i] || out.AdamV[i] != in.AdamV[i] {
+			t.Fatalf("moment %d diverged", i)
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedArchitecture: resuming into a different model
+// shape must fail loudly, not silently mis-load parameters.
+func TestResumeRejectsMismatchedArchitecture(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "arch.ckpt")
+	half := coraConfig(2)
+	half.CheckpointPath = ckpt
+	half.CheckpointEvery = 2
+	if _, err := Train(half); err != nil {
+		t.Fatal(err)
+	}
+	bad := coraConfig(4)
+	bad.Hidden = []int{32}
+	bad.ResumeFrom = ckpt
+	if _, err := Train(bad); err == nil {
+		t.Fatalf("resume with mismatched hidden width accepted")
+	}
+	badKind := coraConfig(4)
+	badKind.Kind = nn.KindSAGE
+	badKind.ResumeFrom = ckpt
+	if _, err := Train(badKind); err == nil {
+		t.Fatalf("resume with mismatched model kind accepted")
+	}
+	missing := coraConfig(4)
+	missing.ResumeFrom = filepath.Join(t.TempDir(), "nope.ckpt")
+	if _, err := Train(missing); err == nil {
+		t.Fatalf("resume from a missing file accepted")
+	}
+}

@@ -249,6 +249,20 @@ func NewForwardRequester(ttr int) *ForwardRequester {
 	return &ForwardRequester{Ttr: ttr}
 }
 
+// Predict returns the requester-side linear prediction
+// Ĥ_pdt = H_base + M_cr·(t mod Ttr + 1) (Eq. 7) without any wire data.
+// It is the degraded-mode fallback when a ghost fetch exhausts its retries:
+// the same trend state the selector exploits to skip predictable rows also
+// approximates rows the network failed to deliver. ok is false before the
+// first trend baseline has been received.
+func (q *ForwardRequester) Predict(t int) (pdt *tensor.Matrix, ok bool) {
+	if !q.haveBase {
+		return nil, false
+	}
+	k := float32(t%q.Ttr + 1)
+	return q.hBase.Add(q.mcr.Scale(k)), true
+}
+
 // Parse decodes a ReqEC-FP payload for iteration t into the reconstructed
 // ghost embedding rows.
 func (q *ForwardRequester) Parse(payload []byte, t int) *tensor.Matrix {

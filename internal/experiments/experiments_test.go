@@ -38,8 +38,13 @@ func TestRunRequiresWriter(t *testing.T) {
 }
 
 // runQuick executes one experiment in quick mode and returns its output.
+// Even quick mode trains several full configurations, so these are the
+// heaviest tests in the repo; -short (the CI race run) skips them.
 func runQuick(t *testing.T, name string) string {
 	t.Helper()
+	if testing.Short() {
+		t.Skipf("skipping experiment %s in short mode", name)
+	}
 	var buf bytes.Buffer
 	if err := Run(name, Options{Quick: true, Out: &buf}); err != nil {
 		t.Fatalf("%s: %v", name, err)

@@ -364,7 +364,7 @@ func (w *gatWorker) runEpoch(t int) (float64, error) {
 		g = dhOwned.HadamardInPlace(w.trace[l-1].z.ReLUGrad())
 	}
 
-	if err := w.psc.Push(grads.Flatten()); err != nil {
+	if err := w.psc.Push(t, grads.Flatten()); err != nil {
 		return 0, err
 	}
 	return lossSum, nil

@@ -25,6 +25,25 @@ func NewAdam(lr float64, n int) *Adam {
 // Len returns the parameter-vector length this optimiser was sized for.
 func (a *Adam) Len() int { return len(a.m) }
 
+// Snapshot returns copies of the moment vectors and the timestep, so a
+// checkpoint can capture the optimiser mid-run.
+func (a *Adam) Snapshot() (m, v []float64, t int) {
+	return append([]float64(nil), a.m...), append([]float64(nil), a.v...), a.t
+}
+
+// Restore overwrites the moment vectors and timestep from a snapshot taken
+// with Snapshot; resuming from a checkpoint continues the exact bias
+// correction schedule instead of restarting it.
+func (a *Adam) Restore(m, v []float64, t int) error {
+	if len(m) != len(a.m) || len(v) != len(a.v) {
+		return fmt.Errorf("nn: Adam.Restore length mismatch m=%d v=%d state=%d", len(m), len(v), len(a.m))
+	}
+	copy(a.m, m)
+	copy(a.v, v)
+	a.t = t
+	return nil
+}
+
 // Step applies one Adam update to w in place given gradient g.
 func (a *Adam) Step(w, g []float32) {
 	if len(w) != len(a.m) || len(g) != len(a.m) {

@@ -76,7 +76,8 @@ type Server struct {
 	version  int // epochs applied
 	pending  []float32
 	nPending int
-	expected int // workers per epoch
+	expected int          // workers per epoch
+	pushed   map[int]bool // workers that contributed to the current version
 }
 
 // NewServer creates a server owning the given initial parameter slice
@@ -97,6 +98,7 @@ func NewServerOpts(initial []float32, lr float64, expectedWorkers int, opts Serv
 		opts:     opts,
 		pending:  make([]float32, len(initial)),
 		expected: expectedWorkers,
+		pushed:   make(map[int]bool),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -122,8 +124,10 @@ func (s *Server) Handler() transport.Handler {
 			return w.Bytes(), nil
 		case MethodPush:
 			r := transport.NewReader(req)
+			version := int(r.Uint32())
+			worker := int(r.Int32())
 			grads := r.Float32s()
-			if err := s.push(grads); err != nil {
+			if err := s.push(version, worker, grads); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -144,15 +148,31 @@ func (s *Server) pullWait(version int) []float32 {
 	return append([]float32(nil), s.params...)
 }
 
-// push accumulates one worker's gradients; the last worker of the epoch
-// triggers the Adam step (the servers "add them up to obtain the global
-// gradients, and update the weights").
-func (s *Server) push(grads []float32) error {
+// push accumulates one worker's gradients for the given version; the last
+// distinct worker of the epoch triggers the Adam step (the servers "add
+// them up to obtain the global gradients, and update the weights").
+//
+// Pushes are idempotent per (version, worker): a retry of a push the server
+// already applied — e.g. the response was lost, or a timed-out attempt
+// completed after being abandoned — is acknowledged without double-counting
+// the gradient, which keeps the synchronous barrier sound under a lossy
+// transport.
+func (s *Server) push(version, worker int, grads []float32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(grads) != len(s.pending) {
 		return fmt.Errorf("ps: gradient length %d != range %d", len(grads), len(s.pending))
 	}
+	if version < s.version {
+		return nil // stale retry of an epoch already applied
+	}
+	if version > s.version {
+		return fmt.Errorf("ps: push for version %d ahead of server version %d", version, s.version)
+	}
+	if s.pushed[worker] {
+		return nil // duplicate push within the current epoch
+	}
+	s.pushed[worker] = true
 	for i, g := range grads {
 		s.pending[i] += g
 	}
@@ -169,9 +189,63 @@ func (s *Server) push(grads []float32) error {
 			s.pending[i] = 0
 		}
 		s.nPending = 0
+		s.pushed = make(map[int]bool)
 		s.version++
 		s.cond.Broadcast()
 	}
+	return nil
+}
+
+// State is a serialisable snapshot of one server's range: the parameters,
+// the Adam moments and timestep, the (possibly decayed) learning rate and
+// the applied-update count. Checkpoints concatenate per-range states in
+// range order, so a resumed run may even re-split the vector across a
+// different server count.
+type State struct {
+	Params       []float32
+	AdamM, AdamV []float64
+	AdamT        int
+	LR           float64
+	Version      int
+}
+
+// Snapshot captures the server's current state. It must not race an
+// in-flight epoch on the caller's side: the engine snapshots between
+// epochs, when every worker is blocked pulling the next version.
+func (s *Server) Snapshot() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, v, t := s.opt.Snapshot()
+	return State{
+		Params:  append([]float32(nil), s.params...),
+		AdamM:   m,
+		AdamV:   v,
+		AdamT:   t,
+		LR:      s.opt.LR,
+		Version: s.version,
+	}
+}
+
+// Restore overwrites the server's state from a snapshot, letting a crashed
+// run resume mid-training with the exact optimiser trajectory.
+func (s *Server) Restore(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(st.Params) != len(s.params) {
+		return fmt.Errorf("ps: restore %d params into range of %d", len(st.Params), len(s.params))
+	}
+	if err := s.opt.Restore(st.AdamM, st.AdamV, st.AdamT); err != nil {
+		return err
+	}
+	copy(s.params, st.Params)
+	s.opt.LR = st.LR
+	s.version = st.Version
+	s.nPending = 0
+	s.pushed = make(map[int]bool)
+	for i := range s.pending {
+		s.pending[i] = 0
+	}
+	s.cond.Broadcast()
 	return nil
 }
 
@@ -234,13 +308,17 @@ func (c *Client) Pull(version int) ([]float32, error) {
 	return out, nil
 }
 
-// Push splits grads by range and sends each slice to its server.
-func (c *Client) Push(grads []float32) error {
+// Push splits grads by range and sends each slice to its server, tagged
+// with the epoch version and this worker's id so retried pushes are
+// deduplicated server-side.
+func (c *Client) Push(version int, grads []float32) error {
 	if len(grads) != c.total {
 		return fmt.Errorf("ps: pushing %d grads, total is %d", len(grads), c.total)
 	}
 	for i, srv := range c.servers {
-		w := transport.NewWriter(4 + c.ranges[i].Len()*4)
+		w := transport.NewWriter(12 + c.ranges[i].Len()*4)
+		w.Uint32(uint32(version))
+		w.Int32(int32(c.worker))
 		w.Float32s(grads[c.ranges[i].Lo:c.ranges[i].Hi])
 		if _, err := c.net.Call(c.worker, srv, MethodPush, w.Bytes()); err != nil {
 			return err

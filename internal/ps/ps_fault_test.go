@@ -1,0 +1,136 @@
+package ps
+
+import (
+	"testing"
+)
+
+// TestPushIdempotentPerWorker: a retried push for the same (version, worker)
+// must be acknowledged without double-counting — the property that makes
+// timeout-abandoned push attempts safe under the retrying transport.
+func TestPushIdempotentPerWorker(t *testing.T) {
+	s := NewServer([]float32{1, 1}, 0.1, 2)
+	if err := s.push(0, 0, []float32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate of worker 0's push: same version, must not advance anything.
+	if err := s.push(0, 0, []float32{1, 1}); err != nil {
+		t.Fatalf("duplicate push rejected: %v", err)
+	}
+	if s.Version() != 0 {
+		t.Fatalf("duplicate push advanced the version to %d", s.Version())
+	}
+	// Worker 1 completes the barrier exactly once.
+	if err := s.push(0, 1, []float32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 {
+		t.Fatalf("version = %d after both workers pushed", s.Version())
+	}
+
+	// The applied update must reflect each worker's gradient once. A second
+	// epoch where the duplicate carries different values must also be inert.
+	if err := s.push(1, 0, []float32{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.push(1, 0, []float32{100, 100}); err != nil {
+		t.Fatalf("duplicate push with different payload rejected: %v", err)
+	}
+	if got := s.pending[0]; got != 5 {
+		t.Fatalf("pending[0] = %v, want 5 (duplicate accumulated)", got)
+	}
+}
+
+// TestPushStaleVersionAcked: a retry arriving after its epoch was applied is
+// acknowledged silently, not treated as a new contribution.
+func TestPushStaleVersionAcked(t *testing.T) {
+	s := NewServer([]float32{1}, 0.1, 1)
+	if err := s.push(0, 0, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 {
+		t.Fatalf("version = %d", s.Version())
+	}
+	before := s.Snapshot()
+	if err := s.push(0, 0, []float32{42}); err != nil {
+		t.Fatalf("stale push rejected: %v", err)
+	}
+	after := s.Snapshot()
+	if after.Version != before.Version || after.Params[0] != before.Params[0] {
+		t.Fatalf("stale push mutated server state: %+v vs %+v", after, before)
+	}
+}
+
+// TestPushAheadOfVersionErrors: a push for a future epoch is a protocol bug
+// and must be rejected loudly.
+func TestPushAheadOfVersionErrors(t *testing.T) {
+	s := NewServer([]float32{1}, 0.1, 1)
+	if err := s.push(3, 0, []float32{1}); err == nil {
+		t.Fatalf("push for version 3 against server version 0 accepted")
+	}
+}
+
+// TestServerSnapshotRestoreRoundTrip: Restore must reproduce the exact
+// optimiser trajectory a Snapshot captured.
+func TestServerSnapshotRestoreRoundTrip(t *testing.T) {
+	run := func(s *Server, from, to int) {
+		for v := from; v < to; v++ {
+			if err := s.push(v, 0, []float32{0.5, -0.5, 0.25}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := NewServer([]float32{1, 2, 3}, 0.05, 1)
+	run(a, 0, 5)
+	mid := a.Snapshot()
+	run(a, 5, 10)
+	want := a.Snapshot()
+
+	// A fresh server restored from the mid-run snapshot and driven through
+	// the same remaining pushes must land on identical state.
+	b := NewServer([]float32{9, 9, 9}, 0.999, 1)
+	if err := b.Restore(mid); err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != 5 {
+		t.Fatalf("restored version = %d, want 5", b.Version())
+	}
+	run(b, 5, 10)
+	got := b.Snapshot()
+	if got.Version != want.Version || got.AdamT != want.AdamT || got.LR != want.LR {
+		t.Fatalf("restored trajectory diverged: %+v vs %+v", got, want)
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Fatalf("param %d: %v vs %v", i, got.Params[i], want.Params[i])
+		}
+		if got.AdamM[i] != want.AdamM[i] || got.AdamV[i] != want.AdamV[i] {
+			t.Fatalf("moment %d diverged", i)
+		}
+	}
+
+	// Length mismatch must be rejected.
+	c := NewServer([]float32{1}, 0.05, 1)
+	if err := c.Restore(mid); err == nil {
+		t.Fatalf("restore of 3-param state into 1-param range accepted")
+	}
+}
+
+// TestRestoreClearsPendingState: a restore mid-epoch discards half-collected
+// pushes so the resumed barrier starts clean.
+func TestRestoreClearsPendingState(t *testing.T) {
+	s := NewServer([]float32{1, 1}, 0.1, 2)
+	if err := s.push(0, 0, []float32{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	snap := NewServer([]float32{2, 2}, 0.1, 2).Snapshot()
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.nPending != 0 || len(s.pushed) != 0 || s.pending[0] != 0 {
+		t.Fatalf("restore left pending state: nPending=%d pushed=%v pending=%v", s.nPending, s.pushed, s.pending)
+	}
+	// Worker 0 can contribute again after the restore.
+	if err := s.push(0, 0, []float32{1, 1}); err != nil {
+		t.Fatalf("push after restore: %v", err)
+	}
+}

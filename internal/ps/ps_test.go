@@ -95,7 +95,7 @@ func TestPushAggregatesAcrossWorkersAndApplies(t *testing.T) {
 		wg.Add(1)
 		go func(c *Client) {
 			defer wg.Done()
-			if err := c.Push(grads); err != nil {
+			if err := c.Push(0, grads); err != nil {
 				t.Error(err)
 			}
 		}(c)
@@ -145,7 +145,7 @@ func TestPullBlocksUntilVersion(t *testing.T) {
 		wg.Add(1)
 		go func(c *Client) {
 			defer wg.Done()
-			if err := c.Push(grads); err != nil {
+			if err := c.Push(0, grads); err != nil {
 				t.Error(err)
 			}
 		}(c)
@@ -181,7 +181,7 @@ func TestMultiEpochConvergesQuadratic(t *testing.T) {
 				for i := range grads {
 					grads[i] = (cur[i] - target[i]) // each worker: half of 2(w−t)
 				}
-				if err := c.Push(grads); err != nil {
+				if err := c.Push(epoch, grads); err != nil {
 					t.Error(err)
 				}
 			}(c)
@@ -201,7 +201,7 @@ func TestMultiEpochConvergesQuadratic(t *testing.T) {
 
 func TestPushWrongLength(t *testing.T) {
 	clients, _, _ := cluster(t, make([]float32, 4), 0.1, 1, 1)
-	if err := clients[0].Push(make([]float32, 3)); err == nil {
+	if err := clients[0].Push(0, make([]float32, 3)); err == nil {
 		t.Fatalf("expected error for wrong gradient length")
 	}
 }
@@ -250,7 +250,7 @@ func TestOverTCP(t *testing.T) {
 		wg.Add(1)
 		go func(c *Client) {
 			defer wg.Done()
-			if err := c.Push([]float32{1, 1}); err != nil {
+			if err := c.Push(0, []float32{1, 1}); err != nil {
 				t.Error(err)
 			}
 		}(c)
@@ -268,7 +268,7 @@ func TestOverTCP(t *testing.T) {
 func TestGradientClipping(t *testing.T) {
 	s := NewServerOpts(make([]float32, 3), 1.0, 1, ServerOptions{MaxGradNorm: 1})
 	g := []float32{30, 40, 0} // norm 50 → scaled to 1
-	if err := s.push(g); err != nil {
+	if err := s.push(0, 0, g); err != nil {
 		t.Fatal(err)
 	}
 	// After one huge clipped step, params should have moved by roughly the
@@ -296,13 +296,13 @@ func TestClipNormNoopBelowThreshold(t *testing.T) {
 
 func TestLRDecay(t *testing.T) {
 	s := NewServerOpts(make([]float32, 1), 1.0, 1, ServerOptions{LRDecay: 0.5})
-	if err := s.push([]float32{1}); err != nil {
+	if err := s.push(0, 0, []float32{1}); err != nil {
 		t.Fatal(err)
 	}
 	if s.opt.LR != 0.5 {
 		t.Fatalf("LR after one decay = %v, want 0.5", s.opt.LR)
 	}
-	if err := s.push([]float32{1}); err != nil {
+	if err := s.push(1, 0, []float32{1}); err != nil {
 		t.Fatal(err)
 	}
 	if s.opt.LR != 0.25 {

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a failure manufactured by the Chaos wrapper, so tests
+// and retry policies can tell injected faults from genuine ones with
+// errors.Is.
+var ErrInjected = errors.New("transport: injected fault")
+
+// CrashWindow takes one node offline for the half-open interval
+// [From, To) of the chaos layer's global call sequence: every remote call
+// whose source or destination is Node fails while the sequence counter is
+// inside the window, modelling a crash or a network partition that heals.
+// Failed attempts advance the sequence too, so retries eventually outlive
+// the window.
+type CrashWindow struct {
+	Node     int
+	From, To int64
+}
+
+// ChaosConfig parameterises fault injection. All rates are probabilities in
+// [0, 1]; decisions are drawn from a hash of (Seed, src, dst, per-pair call
+// sequence), so a fixed seed reproduces the exact same per-pair fault
+// pattern regardless of goroutine interleaving.
+type ChaosConfig struct {
+	Seed int64
+	// DropRate is the probability a request is lost in transit: the
+	// destination handler never runs and the caller sees an error.
+	DropRate float64
+	// ErrorRate is the probability the call returns an injected error
+	// response instead of reaching the handler.
+	ErrorRate float64
+	// LatencyRate is the probability a call is delayed by Latency before
+	// delivery (a latency spike on the link).
+	LatencyRate float64
+	Latency     time.Duration
+	// Crash lists per-node outage windows over the global call sequence.
+	Crash []CrashWindow
+	// Methods, when non-empty, restricts injection to calls whose method
+	// name is listed — e.g. only ghost exchanges, leaving the parameter
+	// server path clean. Empty means every remote call is eligible.
+	Methods []string
+}
+
+// ChaosStats counts the faults the wrapper has injected since creation.
+type ChaosStats struct {
+	Drops, Errors, Spikes, CrashedCalls int64
+}
+
+// Chaos wraps a Network and injects deterministic, seeded faults: dropped
+// requests, error responses, latency spikes and per-node crash windows.
+// Local calls (src == dst) model shared memory and are never faulted.
+// All injection happens before the inner call, so a failed attempt never
+// reaches the destination handler and handler-side state machines (the EC
+// responders, the PS barrier) only advance on delivered messages.
+type Chaos struct {
+	inner Network
+	cfg   ChaosConfig
+
+	seq     atomic.Int64 // global call sequence, drives crash windows
+	mu      sync.Mutex
+	pairSeq map[[2]int]*atomic.Int64
+
+	drops, errs, spikes, crashed atomic.Int64
+}
+
+// NewChaos wraps inner with the given fault configuration.
+func NewChaos(inner Network, cfg ChaosConfig) *Chaos {
+	return &Chaos{inner: inner, cfg: cfg, pairSeq: make(map[[2]int]*atomic.Int64)}
+}
+
+// Injected returns a snapshot of the injected-fault counters.
+func (c *Chaos) Injected() ChaosStats {
+	return ChaosStats{
+		Drops:        c.drops.Load(),
+		Errors:       c.errs.Load(),
+		Spikes:       c.spikes.Load(),
+		CrashedCalls: c.crashed.Load(),
+	}
+}
+
+// Register implements Network.
+func (c *Chaos) Register(node int, h Handler) { c.inner.Register(node, h) }
+
+// NodeStats implements Network.
+func (c *Chaos) NodeStats(node int) Stats { return c.inner.NodeStats(node) }
+
+// ResetStats implements Network. Injected-fault counters are cumulative
+// run diagnostics and are deliberately not reset at epoch boundaries.
+func (c *Chaos) ResetStats() { c.inner.ResetStats() }
+
+// Close implements Network.
+func (c *Chaos) Close() error { return c.inner.Close() }
+
+func (c *Chaos) nextPairSeq(src, dst int) int64 {
+	key := [2]int{src, dst}
+	c.mu.Lock()
+	ctr, ok := c.pairSeq[key]
+	if !ok {
+		ctr = new(atomic.Int64)
+		c.pairSeq[key] = ctr
+	}
+	c.mu.Unlock()
+	return ctr.Add(1)
+}
+
+func (c *Chaos) eligible(method string) bool {
+	if len(c.cfg.Methods) == 0 {
+		return true
+	}
+	for _, m := range c.cfg.Methods {
+		if m == method {
+			return true
+		}
+	}
+	return false
+}
+
+// Call implements Network.
+func (c *Chaos) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if src == dst || !c.eligible(method) {
+		return c.inner.Call(src, dst, method, req)
+	}
+	n := c.seq.Add(1)
+	for _, w := range c.cfg.Crash {
+		if (w.Node == src || w.Node == dst) && n >= w.From && n < w.To {
+			c.crashed.Add(1)
+			return nil, fmt.Errorf("chaos: node %d down (call %d in window [%d,%d)): %w",
+				w.Node, n, w.From, w.To, ErrInjected)
+		}
+	}
+	h := chaosMix(uint64(c.cfg.Seed), uint64(src)<<32^uint64(uint32(dst)), uint64(c.nextPairSeq(src, dst)))
+	var u [3]float64
+	for i := range u {
+		h = splitmix64(h)
+		u[i] = float64(h>>11) / (1 << 53)
+	}
+	if u[0] < c.cfg.DropRate {
+		c.drops.Add(1)
+		return nil, fmt.Errorf("chaos: dropped %s %d→%d: %w", method, src, dst, ErrInjected)
+	}
+	if u[1] < c.cfg.ErrorRate {
+		c.errs.Add(1)
+		return nil, fmt.Errorf("chaos: error response for %s %d→%d: %w", method, src, dst, ErrInjected)
+	}
+	if u[2] < c.cfg.LatencyRate && c.cfg.Latency > 0 {
+		c.spikes.Add(1)
+		time.Sleep(c.cfg.Latency)
+	}
+	return c.inner.Call(src, dst, method, req)
+}
+
+// splitmix64 is the SplitMix64 finaliser, a cheap high-quality bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chaosMix folds the seed, pair identity and per-pair sequence into one
+// well-mixed word.
+func chaosMix(seed, pair, seq uint64) uint64 {
+	return splitmix64(splitmix64(seed^pair) ^ seq)
+}

@@ -15,6 +15,12 @@ type Stats struct {
 	BytesOut int64 // request bytes sent + response bytes returned to callers
 	BytesIn  int64 // request bytes received + response bytes received
 	Messages int64 // round trips initiated by this node
+
+	// Fault-tolerance counters, populated for calling nodes by the Reliable
+	// wrapper; always zero on bare networks.
+	Retries  int64 // attempts beyond each call's first
+	Timeouts int64 // attempts abandoned at the per-call deadline
+	GiveUps  int64 // calls that exhausted their attempts or the retry budget
 }
 
 // Total returns BytesOut + BytesIn.
@@ -67,6 +73,10 @@ func (nw *InProc) Register(node int, h Handler) {
 // Call implements Network.
 func (nw *InProc) Call(src, dst int, method string, req []byte) ([]byte, error) {
 	nw.mu.RLock()
+	if src < 0 || src >= len(nw.handlers) {
+		nw.mu.RUnlock()
+		return nil, fmt.Errorf("transport: no such source node %d", src)
+	}
 	if dst < 0 || dst >= len(nw.handlers) {
 		nw.mu.RUnlock()
 		return nil, fmt.Errorf("transport: no such node %d", dst)

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout marks a call attempt abandoned at the per-call deadline.
+var ErrTimeout = errors.New("transport: call timed out")
+
+// ReliableConfig tunes the retry policy of the Reliable wrapper. The zero
+// value selects sensible defaults (4 attempts, 1 ms base backoff doubling
+// to a 100 ms cap, no deadline, a 1<<20 per-epoch retry budget).
+type ReliableConfig struct {
+	// Timeout is the per-attempt deadline; 0 disables deadlines. An attempt
+	// that times out is abandoned (its goroutine may still complete in the
+	// background) and retried, which is why every RPC in the system must be
+	// idempotent — pulls and ghost reads are naturally, pushes are
+	// deduplicated by (version, worker) at the server.
+	Timeout time.Duration
+	// MaxAttempts bounds the total attempts per call, first try included.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it, capped at MaxBackoff, with uniform jitter of up to half
+	// the interval added on top.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryBudget caps the retries spent across all calls and nodes between
+	// two ResetStats calls (i.e. per training epoch); once exhausted,
+	// failing calls give up immediately. 0 selects the default.
+	RetryBudget int64
+	// Seed makes the backoff jitter reproducible.
+	Seed int64
+}
+
+func (cfg ReliableConfig) withDefaults() ReliableConfig {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 100 * time.Millisecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 1 << 20
+	}
+	return cfg
+}
+
+// Reliable wraps a Network with per-call timeouts, capped exponential
+// backoff with jitter, and a per-epoch retry budget. Per-node retry,
+// timeout and give-up counters are surfaced through Stats (attributed to
+// the calling node) and reset together with the traffic counters at epoch
+// boundaries, when the retry budget is also refilled.
+type Reliable struct {
+	inner Network
+	cfg   ReliableConfig
+
+	counters []relCounters
+	budget   atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+type relCounters struct {
+	retries, timeouts, giveups atomic.Int64
+}
+
+// NewReliable wraps inner, which serves the given number of nodes.
+func NewReliable(inner Network, nodes int, cfg ReliableConfig) *Reliable {
+	cfg = cfg.withDefaults()
+	r := &Reliable{
+		inner:    inner,
+		cfg:      cfg,
+		counters: make([]relCounters, nodes),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	r.budget.Store(cfg.RetryBudget)
+	return r
+}
+
+// Register implements Network.
+func (r *Reliable) Register(node int, h Handler) { r.inner.Register(node, h) }
+
+// NodeStats implements Network, merging the wrapper's per-node counters
+// into the inner network's traffic snapshot.
+func (r *Reliable) NodeStats(node int) Stats {
+	s := r.inner.NodeStats(node)
+	if node >= 0 && node < len(r.counters) {
+		c := &r.counters[node]
+		s.Retries = c.retries.Load()
+		s.Timeouts = c.timeouts.Load()
+		s.GiveUps = c.giveups.Load()
+	}
+	return s
+}
+
+// ResetStats implements Network: it zeroes the inner traffic counters and
+// this wrapper's fault counters, and refills the per-epoch retry budget.
+func (r *Reliable) ResetStats() {
+	r.inner.ResetStats()
+	for i := range r.counters {
+		r.counters[i].retries.Store(0)
+		r.counters[i].timeouts.Store(0)
+		r.counters[i].giveups.Store(0)
+	}
+	r.budget.Store(r.cfg.RetryBudget)
+}
+
+// Close implements Network.
+func (r *Reliable) Close() error { return r.inner.Close() }
+
+// Call implements Network. Local calls (src == dst) are direct memory
+// access and pass through untouched; remote calls are attempted up to
+// MaxAttempts times within the epoch's retry budget.
+func (r *Reliable) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if src == dst {
+		return r.inner.Call(src, dst, method, req)
+	}
+	var c *relCounters
+	if src >= 0 && src < len(r.counters) {
+		c = &r.counters[src]
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := r.callOnce(src, dst, method, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrTimeout) && c != nil {
+			c.timeouts.Add(1)
+		}
+		if attempt+1 >= r.cfg.MaxAttempts {
+			break
+		}
+		if r.budget.Add(-1) < 0 {
+			lastErr = fmt.Errorf("retry budget exhausted: %w", lastErr)
+			break
+		}
+		if c != nil {
+			c.retries.Add(1)
+		}
+		time.Sleep(r.backoff(attempt))
+	}
+	if c != nil {
+		c.giveups.Add(1)
+	}
+	return nil, fmt.Errorf("transport: %s %d→%d gave up: %w", method, src, dst, lastErr)
+}
+
+// callOnce runs one attempt under the per-attempt deadline. On timeout the
+// inner call keeps running in a leaked goroutine — acceptable for abandoned
+// attempts because every handler is idempotent and the goroutine ends with
+// the call.
+func (r *Reliable) callOnce(src, dst int, method string, req []byte) ([]byte, error) {
+	if r.cfg.Timeout <= 0 {
+		return r.inner.Call(src, dst, method, req)
+	}
+	type result struct {
+		resp []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := r.inner.Call(src, dst, method, req)
+		done <- result{resp, err}
+	}()
+	timer := time.NewTimer(r.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.resp, out.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%s %d→%d after %v: %w", method, src, dst, r.cfg.Timeout, ErrTimeout)
+	}
+}
+
+// backoff returns the capped exponential delay before retry number
+// attempt+1, with up to 50% uniform jitter.
+func (r *Reliable) backoff(attempt int) time.Duration {
+	d := r.cfg.BaseBackoff
+	for i := 0; i < attempt && d < r.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	r.rngMu.Lock()
+	jitter := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.rngMu.Unlock()
+	return d + jitter
+}

@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultyNet wraps an inner Network and fails Call whenever fail returns an
+// error, for scripting precise failure sequences in tests.
+type faultyNet struct {
+	Network
+	fail func(src, dst int, method string) error
+}
+
+func (f *faultyNet) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if err := f.fail(src, dst, method); err != nil {
+		return nil, err
+	}
+	return f.Network.Call(src, dst, method, req)
+}
+
+func newEchoInProc(n int) *InProc {
+	nw := NewInProc(n)
+	for i := 0; i < n; i++ {
+		nw.Register(i, echoHandler)
+	}
+	return nw
+}
+
+func TestReliableRecoversFromTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	inner := &faultyNet{Network: newEchoInProc(2), fail: func(src, dst int, method string) error {
+		if calls.Add(1) <= 2 {
+			return errors.New("transient")
+		}
+		return nil
+	}}
+	r := NewReliable(inner, 2, ReliableConfig{MaxAttempts: 4, BaseBackoff: time.Microsecond})
+	resp, err := r.Call(0, 1, "hi", []byte("abc"))
+	if err != nil {
+		t.Fatalf("Call after transient failures: %v", err)
+	}
+	if string(resp) != "hi/abc" {
+		t.Fatalf("resp = %q", resp)
+	}
+	s := r.NodeStats(0)
+	if s.Retries != 2 || s.GiveUps != 0 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 give-ups", s)
+	}
+}
+
+func TestReliableGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	inner := &faultyNet{Network: newEchoInProc(2), fail: func(int, int, string) error {
+		calls.Add(1)
+		return errors.New("permanent")
+	}}
+	r := NewReliable(inner, 2, ReliableConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	_, err := r.Call(0, 1, "hi", nil)
+	if err == nil {
+		t.Fatalf("expected failure")
+	}
+	if !strings.Contains(err.Error(), "gave up") {
+		t.Fatalf("error %v does not mention giving up", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("inner called %d times, want 3", got)
+	}
+	s := r.NodeStats(0)
+	if s.Retries != 2 || s.GiveUps != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 1 give-up", s)
+	}
+}
+
+func TestReliableTimeout(t *testing.T) {
+	nw := NewInProc(2)
+	nw.Register(1, func(method string, req []byte) ([]byte, error) {
+		time.Sleep(200 * time.Millisecond)
+		return req, nil
+	})
+	r := NewReliable(nw, 2, ReliableConfig{
+		Timeout: 10 * time.Millisecond, MaxAttempts: 2, BaseBackoff: time.Microsecond,
+	})
+	start := time.Now()
+	_, err := r.Call(0, 1, "slow", nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error %v is not ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("timed-out call blocked for %v", elapsed)
+	}
+	s := r.NodeStats(0)
+	if s.Timeouts != 2 || s.GiveUps != 1 {
+		t.Fatalf("stats = %+v, want 2 timeouts, 1 give-up", s)
+	}
+}
+
+func TestReliableRetryBudgetExhaustionAndRefill(t *testing.T) {
+	inner := &faultyNet{Network: newEchoInProc(2), fail: func(int, int, string) error {
+		return errors.New("down")
+	}}
+	r := NewReliable(inner, 2, ReliableConfig{
+		MaxAttempts: 4, BaseBackoff: time.Microsecond, RetryBudget: 2,
+	})
+	_, err := r.Call(0, 1, "hi", nil)
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("error %v does not mention budget exhaustion", err)
+	}
+	if s := r.NodeStats(0); s.Retries != 2 {
+		t.Fatalf("retries = %d, want budget-capped 2", s.Retries)
+	}
+	// Subsequent calls fail fast without retrying.
+	if _, err := r.Call(0, 1, "hi", nil); err == nil {
+		t.Fatalf("expected failure with exhausted budget")
+	}
+	if s := r.NodeStats(0); s.Retries != 2 {
+		t.Fatalf("exhausted budget still allowed retries: %+v", s)
+	}
+	// ResetStats (the epoch boundary) refills the budget.
+	r.ResetStats()
+	if _, err := r.Call(0, 1, "hi", nil); err == nil {
+		t.Fatalf("expected failure")
+	}
+	if s := r.NodeStats(0); s.Retries != 2 {
+		t.Fatalf("refilled budget allowed %d retries, want 2", s.Retries)
+	}
+}
+
+func TestReliableLocalCallsBypass(t *testing.T) {
+	inner := &faultyNet{Network: newEchoInProc(2), fail: func(src, dst int, method string) error {
+		if src != dst {
+			return errors.New("remote down")
+		}
+		return nil
+	}}
+	r := NewReliable(inner, 2, ReliableConfig{MaxAttempts: 2, BaseBackoff: time.Microsecond})
+	if _, err := r.Call(1, 1, "m", nil); err != nil {
+		t.Fatalf("local call: %v", err)
+	}
+	if s := r.NodeStats(1); s.Retries != 0 || s.GiveUps != 0 {
+		t.Fatalf("local call touched fault counters: %+v", s)
+	}
+}
+
+func TestReliableOverChaosDeliversEverything(t *testing.T) {
+	// The canonical stack: Reliable(Chaos(InProc)). With a 30% drop rate and
+	// 6 attempts per call, every call must eventually succeed while the
+	// retry counters record the recovered faults.
+	chaotic := NewChaos(newEchoInProc(2), ChaosConfig{Seed: 11, DropRate: 0.3})
+	r := NewReliable(chaotic, 2, ReliableConfig{MaxAttempts: 6, BaseBackoff: time.Microsecond})
+	for i := 0; i < 300; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		resp, err := r.Call(0, 1, "echo", []byte(msg))
+		if err != nil {
+			t.Fatalf("call %d failed through retries: %v", i, err)
+		}
+		if string(resp) != "echo/"+msg {
+			t.Fatalf("call %d corrupted: %q", i, resp)
+		}
+	}
+	if s := r.NodeStats(0); s.Retries == 0 {
+		t.Fatalf("30%% drop rate produced no retries")
+	}
+	if inj := chaotic.Injected(); inj.Drops == 0 {
+		t.Fatalf("chaos injected nothing")
+	}
+}
+
+func TestReliableStatsResetWithEpoch(t *testing.T) {
+	inner := &faultyNet{Network: newEchoInProc(2), fail: func(int, int, string) error {
+		return errors.New("down")
+	}}
+	r := NewReliable(inner, 2, ReliableConfig{MaxAttempts: 2, BaseBackoff: time.Microsecond})
+	r.Call(0, 1, "hi", nil)
+	if s := r.NodeStats(0); s.Retries == 0 && s.GiveUps == 0 {
+		t.Fatalf("no counters recorded")
+	}
+	r.ResetStats()
+	if s := r.NodeStats(0); s.Retries != 0 || s.Timeouts != 0 || s.GiveUps != 0 {
+		t.Fatalf("ResetStats left fault counters: %+v", s)
+	}
+}
+
+func TestReliableBackoffCapped(t *testing.T) {
+	r := NewReliable(newEchoInProc(2), 2, ReliableConfig{
+		BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+	})
+	for attempt := 0; attempt < 20; attempt++ {
+		d := r.backoff(attempt)
+		// Cap plus at most 50% jitter.
+		if d > 6*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v beyond cap", attempt, d)
+		}
+		if d < time.Millisecond {
+			t.Fatalf("backoff(%d) = %v below base", attempt, d)
+		}
+	}
+}

@@ -116,13 +116,18 @@ func (tc *TCPCluster) serveOne(node int, conn net.Conn) error {
 	return writeFrame(conn, frame)
 }
 
+// maxFrame bounds a single frame's payload in both directions: readFrame
+// rejects larger length prefixes and writeFrame refuses to emit them, so a
+// corrupt or hostile peer cannot make either side allocate unbounded memory
+// and an oversized response cannot silently wrap the uint32 length.
+const maxFrame = 1 << 30
+
 func readFrame(r io.Reader) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
-	const maxFrame = 1 << 30
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
@@ -134,6 +139,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 }
 
 func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
 	if _, err := w.Write(lenBuf[:]); err != nil {
@@ -151,10 +159,18 @@ func (tc *TCPCluster) Register(node int, h Handler) {
 }
 
 // Call implements Network. Local calls (src == dst) bypass the socket and
-// the counters, mirroring InProc's shared-memory semantics.
+// the counters, mirroring InProc's shared-memory semantics. A broken pooled
+// connection is evicted and redialled once before the call fails, so one
+// socket error does not permanently poison the src→dst pair.
 func (tc *TCPCluster) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if src < 0 || src >= len(tc.addrs) {
+		return nil, fmt.Errorf("transport: no such source node %d", src)
+	}
 	if dst < 0 || dst >= len(tc.addrs) {
 		return nil, fmt.Errorf("transport: no such node %d", dst)
+	}
+	if len(method) > 255 {
+		return nil, fmt.Errorf("transport: method name of %d bytes exceeds frame limit", len(method))
 	}
 	if src == dst {
 		tc.mu.RLock()
@@ -165,26 +181,29 @@ func (tc *TCPCluster) Call(src, dst int, method string, req []byte) ([]byte, err
 		}
 		return h(method, req)
 	}
-	conn, err := tc.conn(src, dst)
-	if err != nil {
-		return nil, err
-	}
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
 
 	frame := make([]byte, 1+len(method)+len(req))
 	frame[0] = byte(len(method))
 	copy(frame[1:], method)
 	copy(frame[1+len(method):], req)
-	if err := writeFrame(conn.c, frame); err != nil {
-		return nil, fmt.Errorf("transport: write %d→%d: %w", src, dst, err)
-	}
-	resp, err := readFrame(conn.c)
+
+	conn, err := tc.conn(src, dst)
 	if err != nil {
-		return nil, fmt.Errorf("transport: read %d→%d: %w", src, dst, err)
+		return nil, err
 	}
-	if len(resp) < 1 {
-		return nil, errors.New("transport: empty response frame")
+	resp, err := tc.exchange(conn, frame)
+	if err != nil {
+		// The pooled connection is dead (peer restart, mid-frame failure, a
+		// previous caller's desync): evict it so it is never handed out
+		// again, then redial once and retry the exchange.
+		tc.evict(src, dst, conn)
+		if conn, err = tc.conn(src, dst); err != nil {
+			return nil, fmt.Errorf("transport: redial %d→%d: %w", src, dst, err)
+		}
+		if resp, err = tc.exchange(conn, frame); err != nil {
+			tc.evict(src, dst, conn)
+			return nil, fmt.Errorf("transport: %s %d→%d: %w", method, src, dst, err)
+		}
 	}
 
 	reqWire := int64(4 + len(frame))
@@ -203,6 +222,38 @@ func (tc *TCPCluster) Call(src, dst int, method string, req []byte) ([]byte, err
 	body := make([]byte, len(resp)-1)
 	copy(body, resp[1:])
 	return body, nil
+}
+
+// exchange performs one request/response round trip on a pooled connection.
+// Any error leaves the stream in an unknown state, so callers must evict the
+// connection on failure.
+func (tc *TCPCluster) exchange(conn *tcpConn, frame []byte) ([]byte, error) {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := writeFrame(conn.c, frame); err != nil {
+		return nil, fmt.Errorf("write: %w", err)
+	}
+	resp, err := readFrame(conn.c)
+	if err != nil {
+		return nil, fmt.Errorf("read: %w", err)
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("empty response frame")
+	}
+	return resp, nil
+}
+
+// evict removes a broken pooled connection so the next Call redials. The
+// check against the current map entry keeps a concurrent caller's fresh
+// replacement alive.
+func (tc *TCPCluster) evict(src, dst int, old *tcpConn) {
+	key := [2]int{src, dst}
+	tc.mu.Lock()
+	if tc.conns[key] == old {
+		delete(tc.conns, key)
+	}
+	tc.mu.Unlock()
+	old.c.Close()
 }
 
 func (tc *TCPCluster) conn(src, dst int) (*tcpConn, error) {

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPReconnectAfterConnKill is the regression test for pooled-connection
+// eviction: killing the socket under an established pool entry must not
+// poison the src→dst pair — the next Call evicts, redials and succeeds.
+func TestTCPReconnectAfterConnKill(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Register(1, echoHandler)
+
+	if _, err := nw.Call(0, 1, "hi", []byte("a")); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+
+	// Kill the pooled connection out from under the pool.
+	key := [2]int{0, 1}
+	nw.mu.RLock()
+	pooled := nw.conns[key]
+	nw.mu.RUnlock()
+	if pooled == nil {
+		t.Fatalf("no pooled connection after first call")
+	}
+	pooled.c.Close()
+
+	resp, err := nw.Call(0, 1, "hi", []byte("b"))
+	if err != nil {
+		t.Fatalf("call after conn kill: %v", err)
+	}
+	if string(resp) != "hi/b" {
+		t.Fatalf("resp = %q", resp)
+	}
+	nw.mu.RLock()
+	fresh := nw.conns[key]
+	nw.mu.RUnlock()
+	if fresh == pooled {
+		t.Fatalf("dead connection was not evicted from the pool")
+	}
+}
+
+// TestTCPServerRejectsMalformedFrames drives raw crafted frames at a node's
+// listener and checks the server drops the connection instead of hanging or
+// crashing.
+func TestTCPServerRejectsMalformedFrames(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Register(1, echoHandler)
+
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{
+			// Method length byte claims 200 bytes but the payload has 2.
+			name:  "bad method length",
+			frame: append(lenPrefix(3), 200, 'h', 'i'),
+		},
+		{
+			// Zero-length payload: not even a method-length byte.
+			name:  "empty request frame",
+			frame: lenPrefix(0),
+		},
+		{
+			// Length prefix beyond maxFrame; no payload follows.
+			name:  "oversized frame header",
+			frame: lenPrefix(maxFrame + 1),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", nw.Addr(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(tc.frame); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			buf := make([]byte, 16)
+			if _, err := conn.Read(buf); err != io.EOF {
+				t.Fatalf("server did not close the connection: read err %v", err)
+			}
+		})
+	}
+
+	// The cluster must still serve well-formed traffic afterwards.
+	if resp, err := nw.Call(0, 1, "hi", []byte("x")); err != nil || string(resp) != "hi/x" {
+		t.Fatalf("cluster unhealthy after malformed frames: %q %v", resp, err)
+	}
+}
+
+func lenPrefix(n int) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(n))
+	return b[:4:4]
+}
+
+// fakeServer accepts connections and replies to each incoming frame with the
+// same fixed raw bytes, for testing the client's response-path validation.
+func fakeServer(t *testing.T, reply []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					if _, err := readFrame(conn); err != nil {
+						return
+					}
+					if _, err := conn.Write(reply); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTCPClientRejectsMalformedResponses points a cluster's client side at a
+// misbehaving server: the frame-size guard and the empty-response check must
+// hold on the response path too, surfacing errors instead of panics.
+func TestTCPClientRejectsMalformedResponses(t *testing.T) {
+	cases := []struct {
+		name    string
+		reply   []byte
+		wantErr string
+	}{
+		{"empty response frame", lenPrefix(0), "empty response"},
+		{"oversized response header", lenPrefix(maxFrame + 1), "exceeds limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := NewTCPCluster(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+			// Redirect node 1's address to the fake server; the real node 1
+			// listener keeps running but is never dialled.
+			nw.addrs[1] = fakeServer(t, tc.reply)
+			_, err = nw.Call(0, 1, "hi", []byte("x"))
+			if err == nil {
+				t.Fatalf("expected error for %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestTCPCallValidation(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Register(1, echoHandler)
+
+	if _, err := nw.Call(-1, 1, "m", nil); err == nil {
+		t.Fatalf("negative src accepted")
+	}
+	if _, err := nw.Call(5, 1, "m", nil); err == nil {
+		t.Fatalf("out-of-range src accepted")
+	}
+	if _, err := nw.Call(0, -1, "m", nil); err == nil {
+		t.Fatalf("negative dst accepted")
+	}
+	if _, err := nw.Call(0, 1, strings.Repeat("m", 256), nil); err == nil {
+		t.Fatalf("256-byte method name accepted (length byte would truncate)")
+	}
+	// 255 bytes is the frame format's limit and must work.
+	long := strings.Repeat("m", 255)
+	resp, err := nw.Call(0, 1, long, []byte("x"))
+	if err != nil {
+		t.Fatalf("255-byte method: %v", err)
+	}
+	if string(resp) != long+"/x" {
+		t.Fatalf("255-byte method corrupted")
+	}
+}
+
+func TestInProcCallValidation(t *testing.T) {
+	nw := NewInProc(2)
+	nw.Register(1, echoHandler)
+	if _, err := nw.Call(-1, 1, "m", nil); err == nil {
+		t.Fatalf("negative src accepted")
+	}
+	if _, err := nw.Call(7, 1, "m", nil); err == nil {
+		t.Fatalf("out-of-range src accepted")
+	}
+}
+
+// TestTCPHandlerErrorOverSockets pins down that a handler-returned error
+// crosses the wire as a status-1 frame and comes back as an error carrying
+// the handler's message.
+func TestTCPHandlerErrorOverSockets(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Register(1, echoHandler)
+	_, err = nw.Call(0, 1, "fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("handler error not propagated: %v", err)
+	}
+	// The connection stays usable after an error response.
+	if resp, err := nw.Call(0, 1, "hi", []byte("y")); err != nil || string(resp) != "hi/y" {
+		t.Fatalf("connection unhealthy after handler error: %q %v", resp, err)
+	}
+}
+
+// TestTCPConcurrentRegisterAndCall races handler replacement against live
+// traffic; run under -race this guards the handler table's locking.
+func TestTCPConcurrentRegisterAndCall(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Register(1, echoHandler)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				nw.Register(1, echoHandler)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		if _, err := nw.Call(0, 1, "hi", []byte("z")); err != nil {
+			t.Errorf("call during re-register: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -12,6 +12,11 @@ import (
 // owning peer (Alg. 3 on the requesting end), decoding per the configured
 // forward scheme. With delayed aggregation only the epoch's refresh subset
 // travels; the rest comes from the stale cache.
+//
+// When an exchange fails even after the transport's own retries, the worker
+// degrades gracefully instead of aborting the epoch: it serves the ReqEC-FP
+// linear prediction when the scheme maintains trend state, or the last
+// successfully fetched rows, subject to the MaxStaleEpochs bound.
 func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
@@ -22,20 +27,14 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 	}
 	out := tensor.New(len(w.ghostIDs), dim)
 	for _, j := range w.ghostOwner {
-		req := transport.NewWriter(16)
-		req.Byte(byte(l))
-		req.Uint32(uint32(t))
-		req.Int32(int32(w.id))
-		req.Byte(0) // no subset
-		resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
+		rows, err := w.requestH(l, t, j)
 		if err != nil {
-			return nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
-		}
-		var rows *tensor.Matrix
-		if w.cfg.Opts.FPScheme == SchemeEC {
-			rows = w.fpReq[l][j].Parse(resp, t)
+			if rows, err = w.degradedH(l, t, j, err); err != nil {
+				return nil, err
+			}
 		} else {
-			rows = ec.ParseMatrix(resp)
+			w.hLastGood[l][j] = rows
+			w.hLastEpoch[l][j] = t
 		}
 		base := w.ghostBase[j]
 		for r := 0; r < rows.Rows; r++ {
@@ -43,6 +42,50 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 		}
 	}
 	return out, nil
+}
+
+// requestH performs one ghost-embedding exchange with peer j. Decode panics
+// — e.g. an EC payload whose trend baseline this requester never received
+// because the boundary message was lost — are converted to errors so the
+// degraded path can take over.
+func (w *Worker) requestH(l, t, j int) (rows *tensor.Matrix, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows = nil
+			err = fmt.Errorf("worker %d: decode getH(l=%d,t=%d) from %d: %v", w.id, l, t, j, r)
+		}
+	}()
+	req := transport.NewWriter(16)
+	req.Byte(byte(l))
+	req.Uint32(uint32(t))
+	req.Int32(int32(w.id))
+	req.Byte(0) // no subset
+	resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+	}
+	if w.cfg.Opts.FPScheme == SchemeEC {
+		return w.fpReq[l][j].Parse(resp, t), nil
+	}
+	return ec.ParseMatrix(resp), nil
+}
+
+// degradedH picks the fallback for a failed H exchange with peer j, or
+// fails the epoch once the staleness bound is exceeded.
+func (w *Worker) degradedH(l, t, j int, cause error) (*tensor.Matrix, error) {
+	bound := w.cfg.Opts.MaxStaleEpochs
+	last := w.hLastEpoch[l][j]
+	if bound < 0 || last < 0 || t-last > bound {
+		return nil, fmt.Errorf("worker %d: ghost H(l=%d) from %d unrecoverable at epoch %d (last good epoch %d, staleness bound %d): %w",
+			w.id, l, j, t, last, bound, cause)
+	}
+	w.degraded++
+	if w.cfg.Opts.FPScheme == SchemeEC {
+		if pdt, ok := w.fpReq[l][j].Predict(t); ok {
+			return pdt, nil
+		}
+	}
+	return w.hLastGood[l][j], nil
 }
 
 // refreshPositions returns, for peer j, the indices within Needs[w][j] that
@@ -69,12 +112,18 @@ func (w *Worker) refreshPositions(j, t int) []int32 {
 }
 
 func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
-	if w.ghostHCache[l] == nil {
+	cold := w.ghostHCache[l] == nil
+	if cold {
 		w.ghostHCache[l] = tensor.New(len(w.ghostIDs), dim)
 	}
 	cache := w.ghostHCache[l]
 	for _, j := range w.ghostOwner {
 		positions := w.refreshPositions(j, t)
+		if cold {
+			// First use of this layer's cache — e.g. a resumed run starting
+			// at t > 0 — must refresh everything, not just t's subset.
+			positions = w.refreshPositions(j, 0)
+		}
 		if len(positions) == 0 {
 			continue
 		}
@@ -86,39 +135,77 @@ func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
 		req.Int32s(positions)
 		resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
 		if err != nil {
-			return nil, fmt.Errorf("worker %d: delayed getH from %d: %w", w.id, j, err)
+			// The cache is already stale-tolerant by design: skip this
+			// refresh round and serve the cached rows, within the same
+			// staleness bound the non-delayed path enforces.
+			bound := w.cfg.Opts.MaxStaleEpochs
+			last := w.hLastEpoch[l][j]
+			if bound < 0 || last < 0 || t-last > bound {
+				return nil, fmt.Errorf("worker %d: delayed getH from %d unrecoverable at epoch %d (last good epoch %d, staleness bound %d): %w",
+					w.id, j, t, last, bound, err)
+			}
+			w.degraded++
+			continue
 		}
 		rows := ec.ParseMatrix(resp)
 		base := w.ghostBase[j]
 		for r, p := range positions {
 			copy(cache.Row(base+int(p)), rows.Row(r))
 		}
+		w.hLastEpoch[l][j] = t
 	}
 	return cache, nil
 }
 
-// fetchGhostG gathers ghost rows of G^l for iteration t (Alg. 5).
+// fetchGhostG gathers ghost rows of G^l for iteration t (Alg. 5). Like the
+// forward exchange it degrades to the last-good cached gradient rows when a
+// peer stays unreachable, within the MaxStaleEpochs bound.
 func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
 	}
 	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
 	for _, j := range w.ghostOwner {
-		req := transport.NewWriter(16)
-		req.Byte(byte(l))
-		req.Uint32(uint32(t))
-		req.Int32(int32(w.id))
-		resp, err := w.cfg.Net.Call(w.id, j, MethodGetG, req.Bytes())
+		rows, err := w.requestG(l, t, j)
 		if err != nil {
-			return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+			bound := w.cfg.Opts.MaxStaleEpochs
+			last := w.gLastEpoch[l][j]
+			if bound < 0 || last < 0 || t-last > bound {
+				return nil, fmt.Errorf("worker %d: ghost G(l=%d) from %d unrecoverable at epoch %d (last good epoch %d, staleness bound %d): %w",
+					w.id, l, j, t, last, bound, err)
+			}
+			w.degraded++
+			rows = w.gLastGood[l][j]
+		} else {
+			w.gLastGood[l][j] = rows
+			w.gLastEpoch[l][j] = t
 		}
-		rows := ec.ParseMatrix(resp)
 		base := w.ghostBase[j]
 		for r := 0; r < rows.Rows; r++ {
 			copy(out.Row(base+r), rows.Row(r))
 		}
 	}
 	return out, nil
+}
+
+// requestG performs one ghost-gradient exchange with peer j, converting
+// decode panics into errors for the degraded path.
+func (w *Worker) requestG(l, t, j int) (rows *tensor.Matrix, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows = nil
+			err = fmt.Errorf("worker %d: decode getG(l=%d,t=%d) from %d: %v", w.id, l, t, j, r)
+		}
+	}()
+	req := transport.NewWriter(16)
+	req.Byte(byte(l))
+	req.Uint32(uint32(t))
+	req.Int32(int32(w.id))
+	resp, err := w.cfg.Net.Call(w.id, j, MethodGetG, req.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+	}
+	return ec.ParseMatrix(resp), nil
 }
 
 // Handler returns the transport handler serving this worker's RPCs. It runs

@@ -69,6 +69,14 @@ type Options struct {
 	// each epoch only ~1/DelayRounds of the ghost embeddings are refreshed,
 	// the rest reuse stale cached values. Requires FPScheme == SchemeRaw.
 	DelayRounds int
+	// MaxStaleEpochs bounds degraded-mode ghost reuse. When a ghost fetch
+	// still fails after the transport's own retries, the worker serves the
+	// last-good cached rows — or the ReqEC-FP linear prediction when the
+	// scheme maintains trend state — as long as the last successful exchange
+	// with that peer is at most MaxStaleEpochs epochs old; beyond the bound
+	// the epoch fails hard. 0 selects the default (2); negative disables
+	// degraded mode so any exhausted fetch is fatal.
+	MaxStaleEpochs int
 }
 
 // RPC method names served by Worker.Handler.
@@ -196,6 +204,15 @@ type Worker struct {
 
 	// DistGNN delayed-aggregation ghost caches per layer.
 	ghostHCache []*tensor.Matrix
+
+	// Degraded-mode state: the last successfully fetched ghost rows per
+	// (layer, owning peer) and the epoch they arrived, bounding how stale a
+	// served fallback may be. Only the epoch goroutine touches these.
+	hLastGood  [][]*tensor.Matrix // [layer][owner]
+	hLastEpoch [][]int
+	gLastGood  [][]*tensor.Matrix
+	gLastEpoch [][]int
+	degraded   int // degraded fetches served this epoch
 }
 
 // New builds the worker's local structures from the global graph. It does
@@ -207,6 +224,9 @@ func New(cfg Config) *Worker {
 	}
 	if cfg.Opts.Ttr == 0 {
 		cfg.Opts.Ttr = 10
+	}
+	if cfg.Opts.MaxStaleEpochs == 0 {
+		cfg.Opts.MaxStaleEpochs = 2
 	}
 	L := cfg.Model.NumLayers()
 	w := &Worker{
@@ -339,6 +359,20 @@ func New(cfg Config) *Worker {
 	if cfg.Opts.DelayRounds >= 2 {
 		w.ghostHCache = make([]*tensor.Matrix, L+1)
 	}
+	w.hLastGood = make([][]*tensor.Matrix, L+1)
+	w.hLastEpoch = make([][]int, L+1)
+	w.gLastGood = make([][]*tensor.Matrix, L+1)
+	w.gLastEpoch = make([][]int, L+1)
+	for l := 0; l <= L; l++ {
+		w.hLastGood[l] = make([]*tensor.Matrix, cfg.Topo.NumWorkers)
+		w.gLastGood[l] = make([]*tensor.Matrix, cfg.Topo.NumWorkers)
+		w.hLastEpoch[l] = make([]int, cfg.Topo.NumWorkers)
+		w.gLastEpoch[l] = make([]int, cfg.Topo.NumWorkers)
+		for j := range w.hLastEpoch[l] {
+			w.hLastEpoch[l][j] = -1
+			w.gLastEpoch[l][j] = -1
+		}
+	}
 	return w
 }
 
@@ -392,12 +426,17 @@ type EpochReport struct {
 	LocalLossSum float64 // Σ −log p(label) over owned training vertices
 	TrainCount   int
 	FPBits       int // bit width in effect after the tuner update
+	// DegradedFetches counts ghost exchanges this epoch that exhausted the
+	// transport's retries and were served from the stale cache or the
+	// ReqEC-FP prediction instead.
+	DegradedFetches int
 }
 
 // RunEpoch executes iteration t: pull parameters at version t, forward
 // propagation (Alg. 1), loss gradient, backward propagation (Alg. 2), push
 // gradients. It blocks on peers as needed and returns the local report.
 func (w *Worker) RunEpoch(t int) (EpochReport, error) {
+	w.degraded = 0
 	flat, err := w.cfg.PS.Pull(t)
 	if err != nil {
 		return EpochReport{}, fmt.Errorf("worker %d: pull: %w", w.id, err)
@@ -500,7 +539,7 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 		g = gPrev.HadamardInPlace(w.z[l-1].ReLUGrad())
 	}
 
-	if err := w.cfg.PS.Push(grads.Flatten()); err != nil {
+	if err := w.cfg.PS.Push(t, grads.Flatten()); err != nil {
 		return EpochReport{}, fmt.Errorf("worker %d: push: %w", w.id, err)
 	}
 
@@ -513,6 +552,7 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 		}
 	}
 	report.FPBits = w.FPBits()
+	report.DegradedFetches = w.degraded
 	return report, nil
 }
 
