@@ -24,6 +24,7 @@ import (
 	"ecgraph/internal/datasets"
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/supervise"
 	"ecgraph/internal/transport"
 	"ecgraph/internal/worker"
 )
@@ -62,6 +63,12 @@ func main() {
 
 		timeout  = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
 		attempts = flag.Int("max-attempts", 4, "attempts per call, first try included")
+
+		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection and automatic worker recovery")
+		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
+		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
+		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
+		autoRollback = flag.Bool("auto-rollback", false, "roll back and replay when recovery fails or a numeric guard trips (implies -supervise)")
 	)
 	flag.Parse()
 
@@ -117,7 +124,7 @@ func main() {
 		Seed:        *chaosSeed,
 	})
 
-	res, err := core.Train(core.Config{
+	cfg := core.Config{
 		Dataset: d,
 		Kind:    nn.KindGCN,
 		Hidden:  []int{16},
@@ -131,18 +138,30 @@ func main() {
 			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
 			FPBits: *bits, BPBits: *bits, Ttr: 10,
 		},
-	})
+	}
+	if *supervised || *autoRollback {
+		cfg.Supervise = &supervise.Options{
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			DeadAfter:         *deadAfter,
+			AutoRollback:      *autoRollback,
+		}
+		fmt.Printf("supervision enabled: heartbeat %v, auto-rollback %v\n", *heartbeat, *autoRollback)
+	}
+
+	res, err := core.Train(cfg)
 	if err != nil {
 		fail(err)
 	}
 	var bytes, retries, timeouts, giveups int64
-	var degraded int
+	var degraded, skips int
 	for _, e := range res.Epochs {
 		bytes += e.Bytes
 		retries += e.Retries
 		timeouts += e.Timeouts
 		giveups += e.GiveUps
 		degraded += e.DegradedFetches
+		skips += e.StragglerSkips
 	}
 	fmt.Printf("\ntrained %d epochs over TCP: test accuracy %.4f, %s moved across sockets\n",
 		*epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
@@ -150,7 +169,13 @@ func main() {
 		inj := chaos.Injected()
 		fmt.Printf("injected: %d drops, %d errors, %d spikes, %d crashed calls\n",
 			inj.Drops, inj.Errors, inj.Spikes, inj.CrashedCalls)
-		fmt.Printf("recovered: %d retries, %d timeouts, %d give-ups, %d degraded ghost fetches\n",
-			retries, timeouts, giveups, degraded)
+		fmt.Printf("recovered: %d retries, %d timeouts, %d give-ups, %d degraded ghost fetches (%d straggler skips)\n",
+			retries, timeouts, giveups, degraded, skips)
+	}
+	if len(res.SuperviseEvents) > 0 {
+		fmt.Printf("\nsupervision log (%d recoveries):\n", res.Recoveries)
+		for _, ev := range res.SuperviseEvents {
+			fmt.Printf("  %s\n", ev)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ecgraph/internal/core"
 	"ecgraph/internal/datasets"
@@ -17,9 +18,20 @@ import (
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
 	"ecgraph/internal/partition"
+	"ecgraph/internal/supervise"
 	"ecgraph/internal/trace"
 	"ecgraph/internal/worker"
 )
+
+// faultsNonEmpty reports whether any epoch recorded a fault counter.
+func faultsNonEmpty(res *core.Result) bool {
+	for _, e := range res.Epochs {
+		if e.Retries+e.Timeouts+e.GiveUps > 0 || e.DegradedFetches > 0 || e.StragglerSkips > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 func parseScheme(s string) (worker.Scheme, error) {
 	switch s {
@@ -58,6 +70,12 @@ func main() {
 		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
 		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
 		resume          = flag.String("resume", "", "resume training from this checkpoint file")
+
+		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection, automatic worker recovery and straggler tolerance")
+		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
+		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
+		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
+		autoRollback = flag.Bool("auto-rollback", false, "roll back to the latest checkpoint and replay when recovery fails or a numeric guard trips (implies -supervise)")
 	)
 	flag.Parse()
 
@@ -135,6 +153,14 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		ResumeFrom:      *resume,
 	}
+	if *supervised || *autoRollback {
+		cfg.Supervise = &supervise.Options{
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			DeadAfter:         *deadAfter,
+			AutoRollback:      *autoRollback,
+		}
+	}
 	fmt.Printf("training %s on %s: %d layers, %d workers, fp=%s(%d bits) bp=%s(%d bits)\n",
 		*model, d.Name, *layers, *workers, *fp, *fpBits, *bp, *bpBits)
 	if *resume != "" {
@@ -153,6 +179,26 @@ func main() {
 				metrics.FormatSeconds(e.CommSeconds), metrics.FormatBytes(float64(e.Bytes)))
 		}
 	}
+	// Fault-tolerance table: one row per epoch that saw transport faults,
+	// degraded ghost serves or straggler skips — silent on a clean run.
+	faults := metrics.NewTable("fault tolerance per epoch",
+		"epoch", "retries", "timeouts", "give-ups", "degraded", "straggler-skips")
+	for t, e := range res.Epochs {
+		if e.Retries+e.Timeouts+e.GiveUps > 0 || e.DegradedFetches > 0 || e.StragglerSkips > 0 {
+			faults.AddRow(t, e.Retries, e.Timeouts, e.GiveUps, e.DegradedFetches, e.StragglerSkips)
+		}
+	}
+	if len(res.Epochs) > 0 && faultsNonEmpty(res) {
+		fmt.Println()
+		faults.Render(os.Stdout)
+	}
+	if len(res.SuperviseEvents) > 0 {
+		fmt.Printf("\nsupervision log (%d recoveries):\n", res.Recoveries)
+		for _, ev := range res.SuperviseEvents {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+
 	fmt.Printf("\nbest val %.4f at epoch %d; test accuracy %.4f\n", res.BestVal, res.BestEpoch, res.TestAccuracy)
 	fmt.Printf("preprocessing %s; converged at epoch %d in %s; total %s\n",
 		metrics.FormatSeconds(res.PreprocessSeconds), res.ConvergedEpoch,

@@ -19,6 +19,7 @@ import (
 	"ecgraph/internal/nn"
 	"ecgraph/internal/partition"
 	"ecgraph/internal/ps"
+	"ecgraph/internal/supervise"
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
 	"ecgraph/internal/worker"
@@ -79,9 +80,20 @@ type Config struct {
 	CheckpointEvery int
 	// ResumeFrom, when non-empty, loads a checkpoint file before training and
 	// continues from its epoch instead of starting fresh. The EC trend state
-	// is rebuilt from scratch (see Checkpoint); optimiser trajectory and
+	// is rebuilt from scratch (see Checkpoint) behind a forced exact-sync
+	// round on the first post-resume epoch; optimiser trajectory and
 	// best-validation bookkeeping carry over exactly.
 	ResumeFrom string
+
+	// Supervise, when non-nil, makes training self-healing: workers emit
+	// heartbeats to the first parameter server, a phi-accrual failure
+	// detector classifies them healthy/suspect/dead, dead workers are
+	// respawned and rehydrated mid-run behind a cluster-wide EC reset and
+	// forced exact-sync round, suspect peers are skipped in favour of
+	// degraded ghost rows, slow calls carry adaptive straggler deadlines,
+	// and numeric guards (NaN/Inf, loss spikes) can roll the run back to the
+	// latest checkpoint and replay. The zero Options value picks defaults.
+	Supervise *supervise.Options
 }
 
 // costFor returns the cost model governing a node's link.
@@ -120,6 +132,9 @@ type EpochStats struct {
 	Timeouts        int64
 	GiveUps         int64
 	DegradedFetches int
+	// StragglerSkips is the subset of DegradedFetches served proactively
+	// because the supervision layer flagged the peer suspect.
+	StragglerSkips int
 }
 
 // Result is the outcome of Train.
@@ -147,6 +162,14 @@ type Result struct {
 	ConvergenceSimSeconds float64
 	// TotalSimSeconds sums preprocessing and every epoch.
 	TotalSimSeconds float64
+
+	// SuperviseEvents is the supervision run log: every detector
+	// transition, respawn, rehydration, exact-sync, retry and rollback in
+	// order. Empty when Config.Supervise is nil.
+	SuperviseEvents []supervise.Event
+	// Recoveries counts epoch-level recovery actions (retries after worker
+	// death or transient failure, plus rollbacks) the supervisor performed.
+	Recoveries int
 
 	// PartitionStats describes the cut the partitioner produced.
 	PartitionStats partition.Stats
@@ -257,6 +280,20 @@ func Train(c Config) (*Result, error) {
 		net.Register(node, servers[i].Handler())
 	}
 
+	// Supervision: heartbeats from every worker land on the first parameter
+	// server, whose handler is wrapped with the supervision RPCs. The
+	// supervisor exists before the workers so they can consult it (as their
+	// PeerHealth) inside the ghost exchange.
+	var sup *supervise.Supervisor
+	if cfg.Supervise != nil {
+		workerNodes := make([]int, cfg.Workers)
+		for i := range workerNodes {
+			workerNodes[i] = i
+		}
+		sup = supervise.New(*cfg.Supervise, net, workerNodes, serverNodes[0])
+		net.Register(serverNodes[0], sup.WrapHandler(servers[0].Handler()))
+	}
+
 	// Resume: overwrite every server's range with the checkpointed state.
 	// The checkpoint stores full-length vectors, so the re-split works even
 	// under a different server count than the run that wrote it.
@@ -269,19 +306,8 @@ func Train(c Config) (*Result, error) {
 		if err := ckpt.compatibleWith(cfg.Kind, dims); err != nil {
 			return nil, fmt.Errorf("core: resume from %s: %w", cfg.ResumeFrom, err)
 		}
-		ckptFlat := ckpt.Model.FlattenParams()
-		for i, srv := range servers {
-			rg := ranges[i]
-			if err := srv.Restore(ps.State{
-				Params:  ckptFlat[rg.Lo:rg.Hi],
-				AdamM:   ckpt.AdamM[rg.Lo:rg.Hi],
-				AdamV:   ckpt.AdamV[rg.Lo:rg.Hi],
-				AdamT:   ckpt.AdamT,
-				LR:      ckpt.LR,
-				Version: ckpt.Epoch,
-			}); err != nil {
-				return nil, fmt.Errorf("core: resume server %d: %w", i, err)
-			}
+		if err := restoreServers(servers, ranges, ckpt); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
 		}
 		startEpoch = ckpt.Epoch
 		res.BestVal = ckpt.BestVal
@@ -290,9 +316,12 @@ func Train(c Config) (*Result, error) {
 	}
 
 	nTrain := len(d.TrainIdx())
-	workers := make([]*worker.Worker, cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		workers[i] = worker.New(worker.Config{
+	var health worker.PeerHealth
+	if sup != nil {
+		health = sup
+	}
+	mkWorker := func(i int) *worker.Worker {
+		return worker.New(worker.Config{
 			ID:             i,
 			Net:            net,
 			Topo:           topo,
@@ -304,8 +333,22 @@ func Train(c Config) (*Result, error) {
 			Model:          nn.NewModel(cfg.Kind, dims, cfg.Seed),
 			PS:             ps.NewClient(net, i, serverNodes, ranges),
 			Opts:           cfg.Worker,
+			Health:         health,
 		})
-		net.Register(i, workers[i].Handler())
+	}
+	// Worker handlers are wrapped too so worker nodes answer sup.ping —
+	// liveness probes must reach the same handler chain as ghost traffic.
+	registerWorker := func(i int, w *worker.Worker) {
+		h := w.Handler()
+		if sup != nil {
+			h = sup.WrapHandler(h)
+		}
+		net.Register(i, h)
+	}
+	workers := make([]*worker.Worker, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		workers[i] = mkWorker(i)
+		registerWorker(i, workers[i])
 		res.MemoryFloats = append(res.MemoryFloats,
 			int64(workers[i].NumOwned()+workers[i].NumGhosts())*int64(d.NumFeatures()))
 	}
@@ -314,9 +357,26 @@ func Train(c Config) (*Result, error) {
 	if err := runAll(workers, func(w *worker.Worker) error { return w.FetchGhostFeatures() }); err != nil {
 		return nil, err
 	}
+	// A resumed run restarts with empty EC state on both ends of every pair
+	// while the optimiser continues mid-trajectory; force an exact boundary
+	// on the first post-resume round so trend baselines — and with them the
+	// selector and prediction-based degraded mode — rebuild immediately
+	// instead of compressing blind until the next scheduled T_tr boundary.
+	if cfg.ResumeFrom != "" {
+		for _, w := range workers {
+			w.ForceExactSync()
+		}
+	}
 	preCompute := time.Since(preStart).Seconds()
 	res.PreprocessSeconds = preCompute + maxNodeCommTime(net, &cfg, cfg.Workers+cfg.Servers)
 	net.ResetStats()
+
+	var sv *supervisedRun
+	if sup != nil {
+		sup.Start()
+		defer sup.Stop()
+		sv = newSupervisedRun(&cfg, sup, net, workers, mkWorker, servers, serverNodes, ranges, dims, startEpoch, res)
+	}
 
 	// ---- Training epochs ----
 	ckptEvery := cfg.CheckpointEvery
@@ -326,14 +386,20 @@ func Train(c Config) (*Result, error) {
 	valIdx, testIdx := d.ValIdx(), d.TestIdx()
 	reports := make([]worker.EpochReport, cfg.Workers)
 	lastVersion := startEpoch
-	for t := startEpoch; t < cfg.Epochs; t++ {
+
+	// runEpoch executes one training iteration and assembles its stats.
+	// Counters are only reset after a successful epoch, so the traffic of a
+	// failed attempt and its recovery is charged to the epoch that finally
+	// completes — recovery cost is visible in the per-epoch fault columns
+	// rather than silently discarded.
+	runEpoch := func(t int) (EpochStats, *tensor.Matrix, error) {
 		epochStart := time.Now()
 		if err := runAllIdx(workers, func(i int, w *worker.Worker) error {
 			var err error
 			reports[i], err = w.RunEpoch(t)
 			return err
 		}); err != nil {
-			return nil, err
+			return EpochStats{}, nil, err
 		}
 		wall := time.Since(epochStart).Seconds()
 		stats := EpochStats{RawComputeSeconds: wall, ComputeSeconds: wall / float64(cfg.Workers)}
@@ -365,6 +431,7 @@ func Train(c Config) (*Result, error) {
 			lossSum += reports[i].LocalLossSum
 			stats.FPBits = append(stats.FPBits, reports[i].FPBits)
 			stats.DegradedFetches += reports[i].DegradedFetches
+			stats.StragglerSkips += reports[i].StragglerSkips
 		}
 		if nTrain > 0 {
 			stats.Loss = lossSum / float64(nTrain)
@@ -373,7 +440,36 @@ func Train(c Config) (*Result, error) {
 		logits := gatherLogits(net, workers, t, d.Graph.N, d.NumClasses)
 		stats.ValAcc = nn.Accuracy(logits, d.Labels, valIdx)
 		stats.TestAcc = nn.Accuracy(logits, d.Labels, testIdx)
+		return stats, logits, nil
+	}
+
+	for t := startEpoch; t < cfg.Epochs; {
+		stats, logits, err := runEpoch(t)
+		if err == nil && sv != nil {
+			if reason := sv.guardReason(stats, logits); reason != "" {
+				next, rerr := sv.guardTripped(t, reason)
+				if rerr != nil {
+					return nil, rerr
+				}
+				t = next
+				continue
+			}
+		}
+		if err != nil {
+			if sv == nil {
+				return nil, err
+			}
+			next, rerr := sv.recover(t, err)
+			if rerr != nil {
+				return nil, rerr
+			}
+			t = next
+			continue
+		}
 		net.ResetStats()
+		if sv != nil {
+			sv.noteSuccess(t)
+		}
 
 		if stats.ValAcc > res.BestVal {
 			res.BestVal = stats.ValAcc
@@ -394,6 +490,7 @@ func Train(c Config) (*Result, error) {
 		if stop {
 			break
 		}
+		t++
 	}
 
 	// Convergence bookkeeping.
@@ -418,7 +515,31 @@ func Train(c Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: pull final params: %w", err)
 	}
+	if sv != nil {
+		res.SuperviseEvents = sup.Events()
+		res.Recoveries = sv.recoveries
+	}
 	return res, nil
+}
+
+// restoreServers overwrites every server's range from a checkpoint's
+// full-length state; shared by resume and supervised rollback.
+func restoreServers(servers []*ps.Server, ranges []ps.Range, ckpt *Checkpoint) error {
+	ckptFlat := ckpt.Model.FlattenParams()
+	for i, srv := range servers {
+		rg := ranges[i]
+		if err := srv.Restore(ps.State{
+			Params:  ckptFlat[rg.Lo:rg.Hi],
+			AdamM:   ckpt.AdamM[rg.Lo:rg.Hi],
+			AdamV:   ckpt.AdamV[rg.Lo:rg.Hi],
+			AdamT:   ckpt.AdamT,
+			LR:      ckpt.LR,
+			Version: ckpt.Epoch,
+		}); err != nil {
+			return fmt.Errorf("restore server %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // compatibleWith verifies a checkpoint matches the run's architecture.

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ecgraph/internal/ps"
+	"ecgraph/internal/supervise"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// ecCoraConfig is coraConfig with error-compensated compression in both
+// directions — the supervised tests must prove recovery works with live EC
+// state (baselines, residuals), not just raw exchanges.
+func ecCoraConfig(epochs int) Config {
+	cfg := coraConfig(epochs)
+	cfg.Worker = worker.Options{
+		FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
+		FPBits: 2, BPBits: 2, Ttr: 10,
+	}
+	return cfg
+}
+
+// fastSupervision returns supervision options scaled for in-process tests:
+// millisecond heartbeats so detection fits in a test run, and a generous
+// probe budget so a crash window is always drained before rollback.
+func fastSupervision() *supervise.Options {
+	return &supervise.Options{
+		HeartbeatInterval: 5 * time.Millisecond,
+		ProbeBudget:       5 * time.Second,
+	}
+}
+
+// trainingMethods lists every RPC that should be eligible for chaos in the
+// supervised crash tests: training traffic AND the supervision plane, so a
+// crashed node's heartbeats are silenced exactly like its ghost exchanges.
+func trainingMethods() []string {
+	return []string{
+		worker.MethodGetH, worker.MethodGetG,
+		ps.MethodPull, ps.MethodPush,
+		supervise.MethodBeat, supervise.MethodPing,
+	}
+}
+
+// eventKinds projects the supervision log onto its kinds.
+func eventKinds(events []supervise.Event) []supervise.EventKind {
+	kinds := make([]supervise.EventKind, len(events))
+	for i, e := range events {
+		kinds[i] = e.Kind
+	}
+	return kinds
+}
+
+// assertEventOrder checks that want appears as a subsequence of the log.
+func assertEventOrder(t *testing.T, events []supervise.Event, want []supervise.EventKind) {
+	t.Helper()
+	i := 0
+	for _, k := range eventKinds(events) {
+		if i < len(want) && k == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("supervision log missing %v (matched %d/%d) in:\n%v", want, i, len(want), events)
+	}
+}
+
+// TestSupervisedCrashRecovery is the headline acceptance test: a seeded
+// crash window takes worker 1 offline mid-training — heartbeats, probes and
+// training calls all fail — and the supervised engine must detect the
+// death, respawn and rehydrate the worker, force an exact-sync round and
+// retry, landing within one accuracy point of the fault-free run. The run
+// log must record the full detect → respawn → rehydrate → exact-sync
+// sequence.
+func TestSupervisedCrashRecovery(t *testing.T) {
+	const epochs = 30
+	clean, err := Train(ecCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ecCoraConfig(epochs)
+	cfg.Supervise = fastSupervision()
+	nodes := cfg.Workers + cfg.Servers
+	inner := transport.NewInProc(nodes)
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{
+		Seed: 11,
+		// The window opens once training traffic is flowing and is long
+		// enough that the failure detector declares worker 1 dead before
+		// probing drains it (the settle wait burns ~200 calls); the probe
+		// budget then drains the rest, modelling a node restart.
+		Crash:   []transport.CrashWindow{{Node: 1, From: 40, To: 900}},
+		Methods: trainingMethods(),
+	})
+	cfg.Net = transport.NewReliable(chaos, nodes, transport.ReliableConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        11,
+	})
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if chaos.Injected().CrashedCalls == 0 {
+		t.Fatalf("crash window never hit")
+	}
+	if res.Recoveries == 0 {
+		t.Fatalf("no recoveries recorded through a %d-call crash window", 900-40)
+	}
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventDead, supervise.EventRespawn, supervise.EventRehydrate,
+		supervise.EventExactSync, supervise.EventRetry, supervise.EventRecovered,
+	})
+	for _, e := range res.SuperviseEvents {
+		if (e.Kind == supervise.EventRespawn || e.Kind == supervise.EventRehydrate) && e.Worker != 1 {
+			t.Fatalf("recovery acted on worker %d, crash window was on worker 1: %v", e.Worker, e)
+		}
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.01 {
+		t.Fatalf("recovered run accuracy %.4f vs clean %.4f (|diff| %.4f > 0.01)",
+			res.TestAccuracy, clean.TestAccuracy, diff)
+	}
+}
+
+// TestSupervisedPartialBarrierRetry crashes worker 1's parameter pushes
+// across an epoch's push barrier: peers complete their half of the barrier,
+// worker 1 gives up, and the supervised retry must converge through the
+// idempotent push path (already-applied pushes acknowledge silently).
+// Chaos is restricted to ps.push, so probes always succeed and the
+// recovery exercises the transient-retry path rather than a respawn.
+func TestSupervisedPartialBarrierRetry(t *testing.T) {
+	const epochs = 20
+	clean, err := Train(ecCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ecCoraConfig(epochs)
+	cfg.Supervise = fastSupervision()
+	nodes := cfg.Workers + cfg.Servers
+	inner := transport.NewInProc(nodes)
+	// 6 pushes per epoch (3 workers x 2 servers): epoch 0 is calls 1-6, so
+	// [7, 30) straddles the epoch 1 barrier and outlives first retries.
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{
+		Seed:    5,
+		Crash:   []transport.CrashWindow{{Node: 1, From: 7, To: 30}},
+		Methods: []string{ps.MethodPush},
+	})
+	cfg.Net = transport.NewReliable(chaos, nodes, transport.ReliableConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        5,
+	})
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if chaos.Injected().CrashedCalls == 0 {
+		t.Fatalf("push crash window never hit")
+	}
+	if res.Recoveries == 0 {
+		t.Fatalf("partial push barrier did not trigger a recovery")
+	}
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventExactSync, supervise.EventRetry, supervise.EventRecovered,
+	})
+	if len(res.Epochs) != epochs {
+		t.Fatalf("trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.01 {
+		t.Fatalf("retried run accuracy %.4f vs clean %.4f (|diff| %.4f > 0.01)",
+			res.TestAccuracy, clean.TestAccuracy, diff)
+	}
+}
+
+// corruptingNet wraps a Network and overwrites the trailing float of one
+// chosen ps.push request with NaN — a bit-flip-style corruption that
+// poisons the server's optimiser state and surfaces as non-finite logits
+// one epoch later. Only pushes to targetDst are counted: the last server's
+// range ends at the model's final output bias, a parameter every forward
+// pass consumes (the sparse matmul skips zero activations, so a poisoned
+// weight in a dead feature column would never reach the logits).
+type corruptingNet struct {
+	transport.Network
+	mu         sync.Mutex
+	targetDst  int
+	pushes     int
+	targetPush int
+	fired      bool
+}
+
+func (c *corruptingNet) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if method == ps.MethodPush && dst == c.targetDst {
+		c.mu.Lock()
+		c.pushes++
+		hit := !c.fired && c.pushes == c.targetPush
+		if hit {
+			c.fired = true
+		}
+		c.mu.Unlock()
+		if hit && len(req) >= 4 {
+			poisoned := append([]byte(nil), req...)
+			binary.LittleEndian.PutUint32(poisoned[len(poisoned)-4:],
+				math.Float32bits(float32(math.NaN())))
+			req = poisoned
+		}
+	}
+	return c.Network.Call(src, dst, method, req)
+}
+
+// TestNaNGuardRollbackReplay is the second acceptance test: injected NaNs
+// must trip the numeric guard, roll the run back to the last checkpoint and
+// replay to convergence instead of finishing with a poisoned model.
+func TestNaNGuardRollbackReplay(t *testing.T) {
+	const epochs = 24
+	clean, err := Train(ecCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ecCoraConfig(epochs)
+	sup := fastSupervision()
+	sup.AutoRollback = true
+	cfg.Supervise = sup
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "guard.ckpt")
+	cfg.CheckpointEvery = 5
+	nodes := cfg.Workers + cfg.Servers
+	// Corrupt the first epoch-7 push to the last server (3 pushes per epoch
+	// per server), after the epoch-5 checkpoint exists: the poisoned final
+	// output bias reaches every logit at version 8, the guard fires on epoch
+	// 8, and the rollback must land on the epoch-5 checkpoint.
+	cnet := &corruptingNet{
+		Network:    transport.NewInProc(nodes),
+		targetDst:  nodes - 1,
+		targetPush: 3*7 + 1,
+	}
+	cfg.Net = cnet
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !cnet.fired {
+		t.Fatalf("corruption never injected (%d pushes seen)", cnet.pushes)
+	}
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventGuardTrip, supervise.EventRollback, supervise.EventExactSync,
+	})
+	var rolledBackTo = -1
+	for _, e := range res.SuperviseEvents {
+		if e.Kind == supervise.EventRollback {
+			rolledBackTo = e.Epoch
+		}
+	}
+	if rolledBackTo != 8 {
+		t.Fatalf("rollback recorded at epoch %d, want the guard epoch 8", rolledBackTo)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("replayed run has %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	for tEpoch, e := range res.Epochs {
+		if math.IsNaN(e.Loss) || math.IsInf(e.Loss, 0) {
+			t.Fatalf("non-finite loss %v at epoch %d survived the rollback", e.Loss, tEpoch)
+		}
+	}
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.01 {
+		t.Fatalf("replayed accuracy %.4f vs clean %.4f (|diff| %.4f > 0.01)",
+			res.TestAccuracy, clean.TestAccuracy, diff)
+	}
+}
+
+// TestSupervisedCleanRunIsNoOp: on a healthy cluster the supervision layer
+// must not change training — no recoveries, no respawns, and the same
+// result. Heartbeat handlers race RunEpoch the whole time, so this test
+// doubles as the -race exercise for the supervision plane.
+func TestSupervisedCleanRunIsNoOp(t *testing.T) {
+	const epochs = 15
+	clean, err := Train(ecCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ecCoraConfig(epochs)
+	cfg.Supervise = fastSupervision()
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Recoveries != 0 {
+		t.Fatalf("%d recoveries on a healthy cluster: %v", res.Recoveries, res.SuperviseEvents)
+	}
+	for _, e := range res.SuperviseEvents {
+		switch e.Kind {
+		case supervise.EventRespawn, supervise.EventRollback, supervise.EventGuardTrip:
+			t.Fatalf("destructive supervision event on a healthy cluster: %v", e)
+		}
+	}
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.01 {
+		t.Fatalf("supervised accuracy %.4f vs unsupervised %.4f (|diff| %.4f)",
+			res.TestAccuracy, clean.TestAccuracy, diff)
+	}
+}
+
+// TestResumeForcesExactSync is the regression test for the resume fix: a
+// resumed run starts with fresh workers whose EC state is empty, so its
+// first epoch must be a forced exact-sync round (visible as an exact-sized
+// FP payload, not a 2-bit compressed one), and the stitched EC trajectory
+// must match an uninterrupted EC run.
+func TestResumeForcesExactSync(t *testing.T) {
+	const epochs = 20
+	ckpt := filepath.Join(t.TempDir(), "ec.ckpt")
+
+	full, err := Train(ecCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := ecCoraConfig(epochs / 2)
+	half.CheckpointPath = ckpt
+	half.CheckpointEvery = epochs / 2
+	if _, err := Train(half); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := ecCoraConfig(epochs)
+	resumed.ResumeFrom = ckpt
+	res, err := Train(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != epochs/2 {
+		t.Fatalf("resumed run trained %d epochs, want %d", len(res.Epochs), epochs/2)
+	}
+
+	// Epoch 10 resumes mid trend group (Ttr=10 puts scheduled boundaries at
+	// t=9 and t=19): without the forced exact sync its FP payloads would be
+	// 2-bit compressed and epoch bytes would match the in-group epoch 11.
+	first, second := res.Epochs[0].Bytes, res.Epochs[1].Bytes
+	if float64(first) < 1.05*float64(second) {
+		t.Fatalf("first resumed epoch moved %d bytes vs %d in-group: no exact-sync signature", first, second)
+	}
+
+	// Compensation quality: the stitched run must track the uninterrupted
+	// one, proving the reset EC state re-baselines rather than degrades.
+	if diff := math.Abs(res.TestAccuracy - full.TestAccuracy); diff > 0.02 {
+		t.Fatalf("resumed EC accuracy %.4f vs uninterrupted %.4f (|diff| %.4f)",
+			res.TestAccuracy, full.TestAccuracy, diff)
+	}
+	lastR, lastF := res.Epochs[len(res.Epochs)-1], full.Epochs[len(full.Epochs)-1]
+	if math.Abs(lastR.Loss-lastF.Loss) > 0.05*(1+lastF.Loss) {
+		t.Fatalf("resumed final loss %v vs uninterrupted %v", lastR.Loss, lastF.Loss)
+	}
+}
+
+// TestChaosSoak is the nightly chaos-soak: long supervised training under
+// sustained drops, injected errors and repeated crash windows, with
+// checkpoint-backed auto-rollback. Gated behind ECGRAPH_CHAOS_SOAK so the
+// ordinary test run stays fast; CI runs it on a schedule with -race.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	if os.Getenv("ECGRAPH_CHAOS_SOAK") == "" {
+		t.Skip("set ECGRAPH_CHAOS_SOAK=1 to run the chaos soak")
+	}
+
+	const epochs = 60
+	clean, err := Train(ecCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ecCoraConfig(epochs)
+	sup := fastSupervision()
+	sup.AutoRollback = true
+	sup.MaxRecoveries = 64
+	cfg.Supervise = sup
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "soak.ckpt")
+	cfg.CheckpointEvery = 5
+	nodes := cfg.Workers + cfg.Servers
+	inner := transport.NewInProc(nodes)
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{
+		Seed:      23,
+		DropRate:  0.03,
+		ErrorRate: 0.01,
+		Crash: []transport.CrashWindow{
+			{Node: 1, From: 300, To: 900},
+			{Node: 2, From: 4000, To: 4700},
+			{Node: 0, From: 9000, To: 9800},
+		},
+		Methods: trainingMethods(),
+	})
+	cfg.Net = transport.NewReliable(chaos, nodes, transport.ReliableConfig{
+		MaxAttempts: 3,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        23,
+	})
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("soak trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.03 {
+		t.Fatalf("soak accuracy %.4f vs clean %.4f (|diff| %.4f > 0.03); %d recoveries",
+			res.TestAccuracy, clean.TestAccuracy, diff, res.Recoveries)
+	}
+	t.Logf("soak: %d recoveries, %d events, injected %+v",
+		res.Recoveries, len(res.SuperviseEvents), chaos.Injected())
+}

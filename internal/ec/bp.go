@@ -45,6 +45,12 @@ func (r *BackwardResponder) Respond(g *tensor.Matrix, bits int) []byte {
 // response); read-only, for diagnostics like the Theorem 1 trace.
 func (r *BackwardResponder) Residual() *tensor.Matrix { return r.delta }
 
+// Reset zeroes the error-feedback residual (δ = 0). After a respawn or
+// rollback the stored residual compensates for quantisation errors of
+// gradients that no longer exist in the replayed trajectory; restoring it
+// would inject stale error feedback, so it is deliberately discarded.
+func (r *BackwardResponder) Reset() { r.delta = nil }
+
 // TopKResponder is the Top-K-with-memory alternative to BackwardResponder
 // (Stich et al., the paper's reference [32]): the same error-feedback loop,
 // but the compressor keeps the k largest-magnitude elements of g + δ
@@ -80,6 +86,9 @@ func (r *TopKResponder) Respond(g *tensor.Matrix) []byte {
 	w.Sparse(s)
 	return w.Bytes()
 }
+
+// Reset zeroes the error-feedback memory, like BackwardResponder.Reset.
+func (r *TopKResponder) Reset() { r.delta = nil }
 
 // ResidualNorm returns ‖δ‖₂.
 func (r *TopKResponder) ResidualNorm() float64 {

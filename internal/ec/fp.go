@@ -66,9 +66,11 @@ type ForwardResponder struct {
 	Ttr         int
 	Granularity Granularity
 
-	hLast    *tensor.Matrix // exact rows at the previous trend boundary
-	mcr      *tensor.Matrix // (H_now − H_last)/Ttr
-	haveBase bool
+	hLast      *tensor.Matrix // exact rows at the previous trend boundary
+	mcr        *tensor.Matrix // (H_now − H_last)/Ttr
+	haveBase   bool
+	forceExact bool // Respond sends exact boundaries regardless of t
+	forceRound int  // first round served while forced; exact through that round
 }
 
 // NewForwardResponder returns responder state with trend-group length ttr.
@@ -85,10 +87,45 @@ func NewForwardResponder(ttr int) *ForwardResponder {
 // embeddings plus M_cr; otherwise it evaluates the three approximations,
 // selects per vertex, and ships only what the requester cannot predict.
 func (r *ForwardResponder) Respond(h *tensor.Matrix, t, bits int) ([]byte, RespondStats) {
+	if r.forceExact {
+		if r.forceRound < 0 {
+			r.forceRound = t
+		}
+		if t <= r.forceRound {
+			return r.respondExact(h), RespondStats{Rows: h.Rows, Exact: true}
+		}
+		// First request past the forced round: the sync happened, resume
+		// the normal trend-group schedule.
+		r.forceExact = false
+		r.forceRound = -1
+	}
 	if (t+1)%r.Ttr == 0 {
 		return r.respondExact(h), RespondStats{Rows: h.Rows, Exact: true}
 	}
 	return r.respondSelected(h, t, bits)
+}
+
+// ForceExact makes Respond send exact trend boundaries regardless of the
+// iteration number — the forced exact-sync round a recovery or resume uses
+// to re-baseline the pair after compensation state was reset, exactly
+// mirroring the scheduled T_tr boundary on the wire. The force is sticky
+// for the whole first round it serves (not one-shot): a failed epoch
+// attempt can leave timed-out duplicate requests in flight, and a stale
+// duplicate must not consume the exact sync the retry depends on.
+func (r *ForwardResponder) ForceExact() {
+	r.forceExact = true
+	r.forceRound = -1
+}
+
+// Reset discards the trend state (H_last, M_cr): the pair behaves as if
+// freshly constructed. Used when a peer is respawned or a run rolls back —
+// stale baselines must never feed the selector again.
+func (r *ForwardResponder) Reset() {
+	r.hLast = nil
+	r.mcr = nil
+	r.haveBase = false
+	r.forceExact = false
+	r.forceRound = -1
 }
 
 func (r *ForwardResponder) respondExact(h *tensor.Matrix) []byte {
@@ -247,6 +284,16 @@ func NewForwardRequester(ttr int) *ForwardRequester {
 		panic(fmt.Sprintf("ec: Ttr must be ≥ 2, got %d", ttr))
 	}
 	return &ForwardRequester{Ttr: ttr}
+}
+
+// Reset discards the requester's trend state; the next parsed exact
+// boundary rebuilds it. A requester without a baseline decodes
+// all-compressed and exact payloads fine and converts anything that needs
+// a baseline into a decode error, which the degraded path absorbs.
+func (q *ForwardRequester) Reset() {
+	q.hBase = nil
+	q.mcr = nil
+	q.haveBase = false
 }
 
 // Predict returns the requester-side linear prediction

@@ -23,6 +23,11 @@ import (
 const (
 	MethodPull = "ps.pull"
 	MethodPush = "ps.push"
+	// MethodVersion reports the server's applied-update count without
+	// blocking — the supervision layer reads it during recovery to learn how
+	// far each range advanced before a worker died (a failed epoch can leave
+	// servers one version apart when only some ranges completed the barrier).
+	MethodVersion = "ps.version"
 )
 
 // Range is a half-open slice [Lo, Hi) of the flat parameter vector.
@@ -131,6 +136,10 @@ func (s *Server) Handler() transport.Handler {
 				return nil, err
 			}
 			return nil, nil
+		case MethodVersion:
+			w := transport.NewWriter(4)
+			w.Uint32(uint32(s.Version()))
+			return w.Bytes(), nil
 		default:
 			return nil, fmt.Errorf("ps: unknown method %q", method)
 		}
@@ -304,6 +313,21 @@ func (c *Client) Pull(version int) ([]float32, error) {
 			return nil, fmt.Errorf("ps: server %d returned %d params, want %d", srv, len(part), c.ranges[i].Len())
 		}
 		copy(out[c.ranges[i].Lo:c.ranges[i].Hi], part)
+	}
+	return out, nil
+}
+
+// ServerVersions asks every server for its applied-update count. Unlike
+// Pull it never blocks, so recovery can read the fleet's progress while an
+// epoch barrier is incomplete.
+func (c *Client) ServerVersions() ([]int, error) {
+	out := make([]int, len(c.servers))
+	for i, srv := range c.servers {
+		resp, err := c.net.Call(c.worker, srv, MethodVersion, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(transport.NewReader(resp).Uint32())
 	}
 	return out, nil
 }

@@ -1,0 +1,436 @@
+package supervise
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ecgraph/internal/transport"
+)
+
+// RPC methods served by the supervisor through the monitor node's wrapped
+// handler. Heartbeats travel over the ordinary cluster fabric so a network
+// fault that isolates a worker also silences its heartbeats — the detector
+// observes exactly what training would observe.
+const (
+	// MethodBeat is a worker-originated heartbeat (worker id + sequence).
+	MethodBeat = "sup.beat"
+	// MethodPing is a supervisor-originated liveness probe; any node that
+	// answers is reachable.
+	MethodPing = "sup.ping"
+)
+
+// Options parameterises the supervision layer end to end: heartbeat
+// cadence, detector thresholds, recovery budgets, straggler deadlines and
+// the numeric guards. The zero value of every field selects a sensible
+// default; core.Config.Supervise == nil disables supervision entirely.
+type Options struct {
+	// HeartbeatInterval is the gap between worker heartbeats (default 25ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter are hard silence bounds for the detector
+	// (defaults 5x and 15x the heartbeat interval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// PhiSuspect / PhiDead are the accrual thresholds (defaults 2 and 8).
+	PhiSuspect float64
+	PhiDead    float64
+
+	// MaxRecoveries bounds recovery attempts across the whole run before
+	// the engine gives up and surfaces the underlying error (default 16).
+	MaxRecoveries int
+	// RecoveryBackoff is the pause between consecutive recovery attempts,
+	// giving the detector time to accrue suspicion and transient storms
+	// time to pass (default = HeartbeatInterval).
+	RecoveryBackoff time.Duration
+	// ProbeInterval is the gap between liveness probes while waiting for a
+	// dead worker to become reachable again (default = HeartbeatInterval/2).
+	ProbeInterval time.Duration
+	// ProbeBudget caps how long one recovery attempt waits for a dead
+	// worker to answer a probe before falling through to rollback or the
+	// next attempt (default 40x ProbeInterval).
+	ProbeBudget time.Duration
+
+	// AutoRollback lets the engine roll back to the latest checkpoint (or
+	// the run's initial state) and replay when recovery cannot proceed or
+	// a numeric guard trips, instead of returning an error.
+	AutoRollback bool
+	// LossSpikeSigma trips the numeric guard when an epoch's loss exceeds
+	// the running mean by this many running standard deviations (default
+	// 8; negative disables the spike guard — NaN/Inf detection stays on).
+	LossSpikeSigma float64
+
+	// StragglerMult scales the per-peer EWMA response time into a ghost
+	// exchange deadline: calls slower than Mult x EWMA are abandoned and
+	// served from the degraded cache (default 8; negative disables).
+	StragglerMult float64
+	// MinDeadline / MaxDeadline clamp the adaptive deadline (defaults
+	// 2ms / 2s).
+	MinDeadline time.Duration
+	MaxDeadline time.Duration
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 5 * o.HeartbeatInterval
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 15 * o.HeartbeatInterval
+	}
+	if o.MaxRecoveries <= 0 {
+		o.MaxRecoveries = 16
+	}
+	if o.RecoveryBackoff <= 0 {
+		o.RecoveryBackoff = o.HeartbeatInterval
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = o.HeartbeatInterval / 2
+	}
+	if o.ProbeBudget <= 0 {
+		o.ProbeBudget = 40 * o.ProbeInterval
+	}
+	if o.LossSpikeSigma == 0 {
+		o.LossSpikeSigma = 8
+	}
+	if o.StragglerMult == 0 {
+		o.StragglerMult = 8
+	}
+	if o.MinDeadline <= 0 {
+		o.MinDeadline = 2 * time.Millisecond
+	}
+	if o.MaxDeadline <= 0 {
+		o.MaxDeadline = 2 * time.Second
+	}
+	return o
+}
+
+// EventKind labels one entry of the supervision log.
+type EventKind int
+
+const (
+	// EventSuspect: the detector downgraded a worker to suspect.
+	EventSuspect EventKind = iota
+	// EventDead: the detector declared a worker dead.
+	EventDead
+	// EventRespawn: a fresh worker replaced a dead one.
+	EventRespawn
+	// EventRehydrate: the respawned worker refetched its ghost store and
+	// will pull parameters from the servers on its next epoch.
+	EventRehydrate
+	// EventExactSync: compensation state was reset cluster-wide and the
+	// next forward round forced exact, re-baselining every EC pair.
+	EventExactSync
+	// EventRetry: the engine is re-running the failed epoch.
+	EventRetry
+	// EventRollback: the engine restored the latest checkpoint and is
+	// replaying from its epoch.
+	EventRollback
+	// EventGuardTrip: a numeric guard (NaN/Inf or loss spike) fired.
+	EventGuardTrip
+	// EventRecovered: an epoch completed after one or more recoveries.
+	EventRecovered
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSuspect:
+		return "suspect"
+	case EventDead:
+		return "dead"
+	case EventRespawn:
+		return "respawn"
+	case EventRehydrate:
+		return "rehydrate"
+	case EventExactSync:
+		return "exact-sync"
+	case EventRetry:
+		return "retry"
+	case EventRollback:
+		return "rollback"
+	case EventGuardTrip:
+		return "guard-trip"
+	case EventRecovered:
+		return "recovered"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one supervision decision, kept for the run log so every
+// recovery is auditable after the fact.
+type Event struct {
+	Kind   EventKind
+	Worker int // -1 when not specific to one worker
+	Epoch  int
+	Detail string
+	Wall   time.Time
+}
+
+// String renders the event for run logs.
+func (e Event) String() string {
+	who := "cluster"
+	if e.Worker >= 0 {
+		who = fmt.Sprintf("worker %d", e.Worker)
+	}
+	if e.Detail == "" {
+		return fmt.Sprintf("epoch %d: %s %s", e.Epoch, who, e.Kind)
+	}
+	return fmt.Sprintf("epoch %d: %s %s (%s)", e.Epoch, who, e.Kind, e.Detail)
+}
+
+// latencySource is the view of per-destination response times the
+// straggler deadline derives from; transport.Reliable implements it.
+type latencySource interface {
+	AvgLatency(dst int) time.Duration
+}
+
+// Supervisor owns the failure detector, the heartbeat emitters and the
+// supervision event log. The engine consults it between epoch attempts;
+// workers consult it (through the worker.PeerHealth interface it
+// satisfies) inside the ghost exchange.
+type Supervisor struct {
+	opts    Options
+	net     transport.Network
+	lat     latencySource // nil when the transport keeps no latency stats
+	workers []int
+	monitor int
+	det     *Detector
+
+	mu       sync.Mutex
+	events   []Event
+	reported map[int]Status // last status change already logged per worker
+
+	emitStop chan struct{}
+	emitWG   sync.WaitGroup
+	beats    []countingBeat
+}
+
+type countingBeat struct{ sent, failed int64 }
+
+// New builds a supervisor for the given worker nodes, monitored from
+// monitorNode (conventionally the first parameter server, whose handler
+// the engine wraps with WrapHandler so heartbeats have somewhere to land).
+func New(opts Options, net transport.Network, workerNodes []int, monitorNode int) *Supervisor {
+	opts = opts.WithDefaults()
+	s := &Supervisor{
+		opts:    opts,
+		net:     net,
+		workers: append([]int(nil), workerNodes...),
+		monitor: monitorNode,
+		det: NewDetector(DetectorConfig{
+			HeartbeatInterval: opts.HeartbeatInterval,
+			SuspectAfter:      opts.SuspectAfter,
+			DeadAfter:         opts.DeadAfter,
+			PhiSuspect:        opts.PhiSuspect,
+			PhiDead:           opts.PhiDead,
+		}),
+		reported: make(map[int]Status),
+		beats:    make([]countingBeat, len(workerNodes)),
+	}
+	if l, ok := net.(latencySource); ok {
+		s.lat = l
+	}
+	for _, w := range workerNodes {
+		s.det.Register(w)
+	}
+	return s
+}
+
+// Options returns the effective (defaulted) options.
+func (s *Supervisor) Options() Options { return s.opts }
+
+// Detector exposes the underlying failure detector.
+func (s *Supervisor) Detector() *Detector { return s.det }
+
+// WrapHandler layers the supervision RPCs over a node's existing handler:
+// sup.beat and sup.ping are served here, everything else passes through.
+func (s *Supervisor) WrapHandler(inner transport.Handler) transport.Handler {
+	return func(method string, req []byte) ([]byte, error) {
+		switch method {
+		case MethodBeat:
+			r := transport.NewReader(req)
+			worker := int(r.Int32())
+			s.det.Beat(worker)
+			return nil, nil
+		case MethodPing:
+			return nil, nil
+		default:
+			return inner(method, req)
+		}
+	}
+}
+
+// Start launches one heartbeat emitter goroutine per worker node. Each
+// emitter sends sup.beat from its worker's node id, so the beat crosses
+// every transport wrapper (chaos, retries, TCP) as worker traffic and a
+// partitioned worker goes silent exactly like its ghost exchanges do.
+func (s *Supervisor) Start() {
+	if s.emitStop != nil {
+		return
+	}
+	s.emitStop = make(chan struct{})
+	for i, node := range s.workers {
+		s.emitWG.Add(1)
+		go func(i, node int) {
+			defer s.emitWG.Done()
+			ticker := time.NewTicker(s.opts.HeartbeatInterval)
+			defer ticker.Stop()
+			var seq uint32
+			for {
+				select {
+				case <-s.emitStop:
+					return
+				case <-ticker.C:
+				}
+				seq++
+				w := transport.NewWriter(8)
+				w.Int32(int32(node))
+				w.Uint32(seq)
+				if _, err := s.net.Call(node, s.monitor, MethodBeat, w.Bytes()); err != nil {
+					s.addBeat(i, false)
+				} else {
+					s.addBeat(i, true)
+				}
+			}
+		}(i, node)
+	}
+}
+
+func (s *Supervisor) addBeat(i int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ok {
+		s.beats[i].sent++
+	} else {
+		s.beats[i].failed++
+	}
+}
+
+// BeatCounts returns how many heartbeats the worker's emitter delivered
+// and how many failed in transit — test and log diagnostics.
+func (s *Supervisor) BeatCounts(workerIdx int) (sent, failed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.beats[workerIdx]
+	return b.sent, b.failed
+}
+
+// Stop terminates the heartbeat emitters and waits for them to exit.
+func (s *Supervisor) Stop() {
+	if s.emitStop == nil {
+		return
+	}
+	close(s.emitStop)
+	s.emitWG.Wait()
+	s.emitStop = nil
+}
+
+// Status returns the detector's verdict for a worker, logging
+// healthy→suspect→dead transitions the first time they are observed.
+func (s *Supervisor) Status(worker int) Status {
+	st := s.det.Status(worker)
+	s.mu.Lock()
+	prev, seen := s.reported[worker]
+	if (!seen && st != StatusHealthy) || (seen && st != prev) {
+		s.reported[worker] = st
+		s.mu.Unlock()
+		switch st {
+		case StatusSuspect:
+			s.Record(EventSuspect, worker, -1, fmt.Sprintf("phi %.1f", s.det.Phi(worker)))
+		case StatusDead:
+			s.Record(EventDead, worker, -1, fmt.Sprintf("phi %.1f", s.det.Phi(worker)))
+		}
+		return st
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Dead returns the workers the detector currently declares dead.
+func (s *Supervisor) Dead() []int {
+	var out []int
+	for _, w := range s.workers {
+		if s.Status(w) == StatusDead {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Probe sends one liveness ping from the monitor node; a response means
+// the node is reachable again and counts as a heartbeat.
+func (s *Supervisor) Probe(node int) bool {
+	if _, err := s.net.Call(s.monitor, node, MethodPing, nil); err != nil {
+		return false
+	}
+	s.det.Beat(node)
+	return true
+}
+
+// AwaitReachable probes a dead node until it answers or the budget runs
+// out. Probes are real transport calls, so a crash window expressed over
+// the chaos call sequence is drained by the probing itself — modelling an
+// operator or orchestrator restarting the node while the cluster knocks.
+func (s *Supervisor) AwaitReachable(node int, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		if s.Probe(node) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(s.opts.ProbeInterval)
+	}
+}
+
+// Record appends an event to the supervision log.
+func (s *Supervisor) Record(kind EventKind, worker, epoch int, detail string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, Event{Kind: kind, Worker: worker, Epoch: epoch, Detail: detail, Wall: time.Now()})
+}
+
+// Events returns a snapshot of the supervision log.
+func (s *Supervisor) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// ---- worker.PeerHealth implementation ----
+
+// SkipPeer reports whether ghost exchanges with the peer should be served
+// from the degraded cache without even attempting the call: true for
+// suspect and dead peers, so healthy workers stop queueing behind a
+// stalled one (the exchange still happens once the staleness bound would
+// be exceeded — the worker only skips while a degraded serve is legal).
+func (s *Supervisor) SkipPeer(peer int) bool {
+	return s.det.Status(peer) != StatusHealthy
+}
+
+// PeerDeadline returns the straggler deadline for calls to the peer:
+// StragglerMult x the transport's EWMA response time, clamped to
+// [MinDeadline, MaxDeadline]. Zero (no deadline override) when the
+// transport keeps no latency stats or the multiplier is disabled.
+func (s *Supervisor) PeerDeadline(peer int) time.Duration {
+	if s.lat == nil || s.opts.StragglerMult <= 0 {
+		return 0
+	}
+	avg := s.lat.AvgLatency(peer)
+	if avg <= 0 {
+		return 0
+	}
+	d := time.Duration(float64(avg) * s.opts.StragglerMult)
+	if d < s.opts.MinDeadline {
+		d = s.opts.MinDeadline
+	}
+	if d > s.opts.MaxDeadline {
+		d = s.opts.MaxDeadline
+	}
+	return d
+}

@@ -53,16 +53,28 @@ func (cfg ReliableConfig) withDefaults() ReliableConfig {
 	return cfg
 }
 
+// DeadlineCaller is implemented by transports whose calls accept a
+// per-call deadline override — the hook the supervision layer's
+// straggler tolerance uses to abandon one slow ghost exchange without
+// tightening the timeout for every other call.
+type DeadlineCaller interface {
+	CallDeadline(src, dst int, method string, req []byte, timeout time.Duration) ([]byte, error)
+}
+
 // Reliable wraps a Network with per-call timeouts, capped exponential
 // backoff with jitter, and a per-epoch retry budget. Per-node retry,
 // timeout and give-up counters are surfaced through Stats (attributed to
 // the calling node) and reset together with the traffic counters at epoch
-// boundaries, when the retry budget is also refilled.
+// boundaries, when the retry budget is also refilled. It additionally
+// keeps a per-destination EWMA of successful response times (AvgLatency),
+// which supervision turns into adaptive straggler deadlines, and
+// implements DeadlineCaller.
 type Reliable struct {
 	inner Network
 	cfg   ReliableConfig
 
 	counters []relCounters
+	latency  []atomic.Int64 // EWMA of successful call time per dst, ns
 	budget   atomic.Int64
 
 	rngMu sync.Mutex
@@ -80,6 +92,7 @@ func NewReliable(inner Network, nodes int, cfg ReliableConfig) *Reliable {
 		inner:    inner,
 		cfg:      cfg,
 		counters: make([]relCounters, nodes),
+		latency:  make([]atomic.Int64, nodes),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	r.budget.Store(cfg.RetryBudget)
@@ -117,10 +130,40 @@ func (r *Reliable) ResetStats() {
 // Close implements Network.
 func (r *Reliable) Close() error { return r.inner.Close() }
 
+// AvgLatency returns the EWMA of successful remote response times to the
+// destination node, or zero before the first sample.
+func (r *Reliable) AvgLatency(dst int) time.Duration {
+	if dst < 0 || dst >= len(r.latency) {
+		return 0
+	}
+	return time.Duration(r.latency[dst].Load())
+}
+
+// observeLatency folds one successful call's duration into the
+// destination's EWMA (alpha = 1/8). The load/store pair may lose a
+// concurrent sample, which is fine for a smoothed estimate.
+func (r *Reliable) observeLatency(dst int, d time.Duration) {
+	if dst < 0 || dst >= len(r.latency) {
+		return
+	}
+	old := r.latency[dst].Load()
+	if old == 0 {
+		r.latency[dst].Store(int64(d))
+		return
+	}
+	r.latency[dst].Store(old + (int64(d)-old)/8)
+}
+
 // Call implements Network. Local calls (src == dst) are direct memory
 // access and pass through untouched; remote calls are attempted up to
 // MaxAttempts times within the epoch's retry budget.
 func (r *Reliable) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	return r.CallDeadline(src, dst, method, req, r.cfg.Timeout)
+}
+
+// CallDeadline implements DeadlineCaller: Call with the per-attempt
+// deadline overridden for this one call (0 disables the deadline).
+func (r *Reliable) CallDeadline(src, dst int, method string, req []byte, timeout time.Duration) ([]byte, error) {
 	if src == dst {
 		return r.inner.Call(src, dst, method, req)
 	}
@@ -130,8 +173,10 @@ func (r *Reliable) Call(src, dst int, method string, req []byte) ([]byte, error)
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := r.callOnce(src, dst, method, req)
+		start := time.Now()
+		resp, err := r.callOnce(src, dst, method, req, timeout)
 		if err == nil {
+			r.observeLatency(dst, time.Since(start))
 			return resp, nil
 		}
 		lastErr = err
@@ -156,12 +201,12 @@ func (r *Reliable) Call(src, dst int, method string, req []byte) ([]byte, error)
 	return nil, fmt.Errorf("transport: %s %d→%d gave up: %w", method, src, dst, lastErr)
 }
 
-// callOnce runs one attempt under the per-attempt deadline. On timeout the
+// callOnce runs one attempt under the given deadline. On timeout the
 // inner call keeps running in a leaked goroutine — acceptable for abandoned
 // attempts because every handler is idempotent and the goroutine ends with
 // the call.
-func (r *Reliable) callOnce(src, dst int, method string, req []byte) ([]byte, error) {
-	if r.cfg.Timeout <= 0 {
+func (r *Reliable) callOnce(src, dst int, method string, req []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
 		return r.inner.Call(src, dst, method, req)
 	}
 	type result struct {
@@ -173,13 +218,13 @@ func (r *Reliable) callOnce(src, dst int, method string, req []byte) ([]byte, er
 		resp, err := r.inner.Call(src, dst, method, req)
 		done <- result{resp, err}
 	}()
-	timer := time.NewTimer(r.cfg.Timeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case out := <-done:
 		return out.resp, out.err
 	case <-timer.C:
-		return nil, fmt.Errorf("%s %d→%d after %v: %w", method, src, dst, r.cfg.Timeout, ErrTimeout)
+		return nil, fmt.Errorf("%s %d→%d after %v: %w", method, src, dst, timeout, ErrTimeout)
 	}
 }
 

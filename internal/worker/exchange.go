@@ -8,6 +8,19 @@ import (
 	"ecgraph/internal/transport"
 )
 
+// callPeer routes one ghost exchange with peer j through the transport.
+// When supervision provides a positive per-peer straggler deadline and the
+// transport supports per-call overrides, the call carries that deadline;
+// otherwise it is a plain Call under the transport's default timeout.
+func (w *Worker) callPeer(j int, method string, req []byte) ([]byte, error) {
+	if w.cfg.Health != nil && w.deadlineNet != nil {
+		if d := w.cfg.Health.PeerDeadline(j); d > 0 {
+			return w.deadlineNet.CallDeadline(w.id, j, method, req, d)
+		}
+	}
+	return w.cfg.Net.Call(w.id, j, method, req)
+}
+
 // fetchGhostH gathers the ghost rows of H^l for iteration t from every
 // owning peer (Alg. 3 on the requesting end), decoding per the configured
 // forward scheme. With delayed aggregation only the epoch's refresh subset
@@ -16,7 +29,9 @@ import (
 // When an exchange fails even after the transport's own retries, the worker
 // degrades gracefully instead of aborting the epoch: it serves the ReqEC-FP
 // linear prediction when the scheme maintains trend state, or the last
-// successfully fetched rows, subject to the MaxStaleEpochs bound.
+// successfully fetched rows, subject to the MaxStaleEpochs bound. Peers
+// the supervision layer flags suspect are skipped proactively — the same
+// fallback, without waiting out retries — as long as the bound holds.
 func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
@@ -27,8 +42,11 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 	}
 	out := tensor.New(len(w.ghostIDs), dim)
 	for _, j := range w.ghostOwner {
-		rows, err := w.requestH(l, t, j)
-		if err != nil {
+		var rows *tensor.Matrix
+		var err error
+		if skipped := w.skipFallbackH(l, t, j); skipped != nil {
+			rows = skipped
+		} else if rows, err = w.requestH(l, t, j); err != nil {
 			if rows, err = w.degradedH(l, t, j, err); err != nil {
 				return nil, err
 			}
@@ -42,6 +60,29 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 		}
 	}
 	return out, nil
+}
+
+// skipFallbackH returns the degraded H rows for peer j when the supervision
+// layer flags it suspect and a fallback within the staleness bound exists;
+// nil means "call the peer normally" (healthy, no supervision, or the bound
+// would be exceeded — the call must then be attempted regardless).
+func (w *Worker) skipFallbackH(l, t, j int) *tensor.Matrix {
+	if w.cfg.Health == nil || !w.cfg.Health.SkipPeer(j) {
+		return nil
+	}
+	bound := w.cfg.Opts.MaxStaleEpochs
+	last := w.hLastEpoch[l][j]
+	if bound < 0 || last < 0 || t-last > bound {
+		return nil
+	}
+	w.degraded++
+	w.skips++
+	if w.cfg.Opts.FPScheme == SchemeEC {
+		if pdt, ok := w.fpReq[l][j].Predict(t); ok {
+			return pdt
+		}
+	}
+	return w.hLastGood[l][j]
 }
 
 // requestH performs one ghost-embedding exchange with peer j. Decode panics
@@ -60,7 +101,7 @@ func (w *Worker) requestH(l, t, j int) (rows *tensor.Matrix, err error) {
 	req.Uint32(uint32(t))
 	req.Int32(int32(w.id))
 	req.Byte(0) // no subset
-	resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
+	resp, err := w.callPeer(j, MethodGetH, req.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
 	}
@@ -131,9 +172,21 @@ func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
 		req.Byte(byte(l))
 		req.Uint32(uint32(t))
 		req.Int32(int32(w.id))
+		if w.cfg.Health != nil && w.cfg.Health.SkipPeer(j) {
+			// Suspect peer: skip this refresh round and keep serving the
+			// stale cache, within the same staleness bound a failed call
+			// falls under; beyond it the call is attempted regardless.
+			bound := w.cfg.Opts.MaxStaleEpochs
+			last := w.hLastEpoch[l][j]
+			if bound >= 0 && last >= 0 && t-last <= bound {
+				w.degraded++
+				w.skips++
+				continue
+			}
+		}
 		req.Byte(1)
 		req.Int32s(positions)
-		resp, err := w.cfg.Net.Call(w.id, j, MethodGetH, req.Bytes())
+		resp, err := w.callPeer(j, MethodGetH, req.Bytes())
 		if err != nil {
 			// The cache is already stale-tolerant by design: skip this
 			// refresh round and serve the cached rows, within the same
@@ -166,8 +219,11 @@ func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
 	}
 	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
 	for _, j := range w.ghostOwner {
-		rows, err := w.requestG(l, t, j)
-		if err != nil {
+		var rows *tensor.Matrix
+		var err error
+		if skipped := w.skipFallbackG(l, t, j); skipped != nil {
+			rows = skipped
+		} else if rows, err = w.requestG(l, t, j); err != nil {
 			bound := w.cfg.Opts.MaxStaleEpochs
 			last := w.gLastEpoch[l][j]
 			if bound < 0 || last < 0 || t-last > bound {
@@ -188,6 +244,22 @@ func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
 	return out, nil
 }
 
+// skipFallbackG is skipFallbackH for gradient rows: the last-good cached
+// rows for a suspect peer, or nil when the call must be attempted.
+func (w *Worker) skipFallbackG(l, t, j int) *tensor.Matrix {
+	if w.cfg.Health == nil || !w.cfg.Health.SkipPeer(j) {
+		return nil
+	}
+	bound := w.cfg.Opts.MaxStaleEpochs
+	last := w.gLastEpoch[l][j]
+	if bound < 0 || last < 0 || t-last > bound {
+		return nil
+	}
+	w.degraded++
+	w.skips++
+	return w.gLastGood[l][j]
+}
+
 // requestG performs one ghost-gradient exchange with peer j, converting
 // decode panics into errors for the degraded path.
 func (w *Worker) requestG(l, t, j int) (rows *tensor.Matrix, err error) {
@@ -201,7 +273,7 @@ func (w *Worker) requestG(l, t, j int) (rows *tensor.Matrix, err error) {
 	req.Byte(byte(l))
 	req.Uint32(uint32(t))
 	req.Int32(int32(w.id))
-	resp, err := w.cfg.Net.Call(w.id, j, MethodGetG, req.Bytes())
+	resp, err := w.callPeer(j, MethodGetG, req.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
 	}
@@ -256,7 +328,12 @@ func (w *Worker) Handler() transport.Handler {
 			case SchemeCompress:
 				return ec.RespondCompressOnly(m, w.FPBits()), nil
 			case SchemeEC:
-				payload, stats := w.fpResp[l][requester].Respond(m, t, w.FPBits())
+				// Under ecMu: a leaked handler goroutine from an abandoned
+				// timed-out attempt may still be in here while supervised
+				// recovery resets the responder state.
+				w.ecMu.Lock()
+				payload, stats := w.fpResp[l][requester].Respond(m, t, w.fpBitsLocked())
+				w.ecMu.Unlock()
 				if !stats.Exact {
 					w.totalRows.Add(int64(stats.Rows))
 					w.predictedRows.Add(int64(stats.Predicted))
@@ -282,9 +359,15 @@ func (w *Worker) Handler() transport.Handler {
 			case SchemeCompress:
 				return ec.RespondCompressOnlyGrad(m, w.cfg.Opts.BPBits), nil
 			case SchemeEC:
-				return w.bpResp[l][requester].Respond(m, w.cfg.Opts.BPBits), nil
+				w.ecMu.Lock()
+				payload := w.bpResp[l][requester].Respond(m, w.cfg.Opts.BPBits)
+				w.ecMu.Unlock()
+				return payload, nil
 			case SchemeTopK:
-				return w.topkResp[l][requester].Respond(m), nil
+				w.ecMu.Lock()
+				payload := w.topkResp[l][requester].Respond(m)
+				w.ecMu.Unlock()
+				return payload, nil
 			default:
 				return nil, fmt.Errorf("worker %d: bad BP scheme %v", w.id, w.cfg.Opts.BPScheme)
 			}
@@ -307,6 +390,8 @@ func (w *Worker) Handler() transport.Handler {
 // (summed over requesters); zero-valued when ResEC is off. Used by tests
 // and the Theorem-1 diagnostics.
 func (w *Worker) ResidualNorms() []float64 {
+	w.ecMu.Lock()
+	defer w.ecMu.Unlock()
 	L := w.cfg.Model.NumLayers()
 	out := make([]float64, L+1)
 	for l := 2; l <= L; l++ {

@@ -43,6 +43,22 @@ func (s *matStore) Put(layer, epoch int, m *tensor.Matrix) {
 	s.cond.Broadcast()
 }
 
+// Reset forgets every published matrix, returning the store to its
+// never-published state. Used by supervised recovery before an epoch is
+// retried or replayed: after a rollback the stored epoch tags would be
+// ahead of the replayed epoch and Wait would panic on legitimate
+// requests. Leaked waiters from an abandoned attempt keep blocking until
+// the replay republishes their epoch.
+func (s *matStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.mats {
+		s.mats[i] = nil
+		s.epoch[i] = -1
+	}
+	s.cond.Broadcast()
+}
+
 // Wait blocks until layer is published for epoch and returns the matrix.
 func (s *matStore) Wait(layer, epoch int) *tensor.Matrix {
 	s.mu.Lock()

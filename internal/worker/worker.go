@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ecgraph/internal/ec"
 	"ecgraph/internal/graph"
@@ -14,6 +15,22 @@ import (
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
 )
+
+// PeerHealth is the worker's view of the supervision layer (implemented
+// by supervise.Supervisor): whether a peer is suspect enough to skip, and
+// the straggler deadline for calls to it. A nil PeerHealth disables both
+// behaviours, leaving the worker exactly as unsupervised.
+type PeerHealth interface {
+	// SkipPeer reports whether ghost exchanges with the peer should be
+	// served from the degraded cache without attempting the call. The
+	// worker only honours a skip while degraded serving is within the
+	// MaxStaleEpochs bound; beyond it the call is attempted regardless.
+	SkipPeer(peer int) bool
+	// PeerDeadline returns the per-call deadline for exchanges with the
+	// peer, typically a multiple of the transport's EWMA response time;
+	// zero keeps the transport's default timeout.
+	PeerDeadline(peer int) time.Duration
+}
 
 // Scheme selects how ghost messages are encoded on the wire.
 type Scheme int
@@ -103,6 +120,10 @@ type Config struct {
 	Model          *nn.Model // this worker's own replica (not shared)
 	PS             *ps.Client
 	Opts           Options
+	// Health, when non-nil, wires the worker into the supervision layer:
+	// suspect peers are skipped in favour of degraded ghost rows and calls
+	// carry adaptive straggler deadlines.
+	Health PeerHealth
 }
 
 // localAdj is the worker's slice of Â: one row per owned vertex, columns in
@@ -198,9 +219,17 @@ type Worker struct {
 	bpResp   [][]*ec.BackwardResponder
 	topkResp [][]*ec.TopKResponder
 
+	// ecMu serialises access to the responder-side EC state (fpResp,
+	// bpResp, topkResp, tuner), which handler goroutines touch while
+	// supervised recovery may be resetting it; see ResetCompensation.
+	ecMu          sync.Mutex
 	tuner         *ec.BitTuner
 	predictedRows atomic.Int64
 	totalRows     atomic.Int64
+
+	// deadlineNet is non-nil when the transport supports per-call deadline
+	// overrides (the straggler-tolerance path).
+	deadlineNet transport.DeadlineCaller
 
 	// DistGNN delayed-aggregation ghost caches per layer.
 	ghostHCache []*tensor.Matrix
@@ -213,6 +242,7 @@ type Worker struct {
 	gLastGood  [][]*tensor.Matrix
 	gLastEpoch [][]int
 	degraded   int // degraded fetches served this epoch
+	skips      int // degraded fetches served proactively (suspect/straggling peer)
 }
 
 // New builds the worker's local structures from the global graph. It does
@@ -356,6 +386,9 @@ func New(cfg Config) *Worker {
 	if cfg.Opts.AdaptiveBits {
 		w.tuner = ec.NewBitTuner(cfg.Opts.FPBits)
 	}
+	if dn, ok := cfg.Net.(transport.DeadlineCaller); ok {
+		w.deadlineNet = dn
+	}
 	if cfg.Opts.DelayRounds >= 2 {
 		w.ghostHCache = make([]*tensor.Matrix, L+1)
 	}
@@ -393,10 +426,103 @@ func (w *Worker) NumGhosts() int { return len(w.ghostIDs) }
 
 // FPBits returns the current forward bit width (tuned or fixed).
 func (w *Worker) FPBits() int {
+	w.ecMu.Lock()
+	defer w.ecMu.Unlock()
+	return w.fpBitsLocked()
+}
+
+// fpBitsLocked is FPBits with ecMu already held (handler paths that are
+// inside a larger ecMu critical section).
+func (w *Worker) fpBitsLocked() int {
 	if w.tuner != nil {
 		return w.tuner.Bits
 	}
 	return w.cfg.Opts.FPBits
+}
+
+// ResetCompensation discards every piece of error-compensation state the
+// worker holds: ReqEC-FP responder bases and changing-rate matrices M_cr,
+// requester-side mirrors, ResEC-BP residuals δ, Top-K memories, and the
+// Bit-Tuner (reset to the configured starting width). After a respawn or
+// rollback this state describes a training trajectory that no longer
+// exists; restoring or keeping it would compensate against phantom errors,
+// so it is deliberately zeroed on every worker and followed by a forced
+// exact-sync round (ForceExactSync) that rebuilds the prediction bases.
+func (w *Worker) ResetCompensation() {
+	w.ecMu.Lock()
+	defer w.ecMu.Unlock()
+	for _, layer := range w.fpResp {
+		for _, r := range layer {
+			if r != nil {
+				r.Reset()
+			}
+		}
+	}
+	for _, layer := range w.fpReq {
+		for _, r := range layer {
+			if r != nil {
+				r.Reset()
+			}
+		}
+	}
+	for _, layer := range w.bpResp {
+		for _, r := range layer {
+			if r != nil {
+				r.Reset()
+			}
+		}
+	}
+	for _, layer := range w.topkResp {
+		for _, r := range layer {
+			if r != nil {
+				r.Reset()
+			}
+		}
+	}
+	if w.tuner != nil {
+		w.tuner = ec.NewBitTuner(w.cfg.Opts.FPBits)
+	}
+	w.predictedRows.Store(0)
+	w.totalRows.Store(0)
+}
+
+// ForceExactSync makes every ReqEC-FP responder ship exact rows on its
+// next response regardless of trend position — the same full-precision
+// round a T_tr boundary forces, used to re-establish prediction bases
+// after compensation state was reset.
+func (w *Worker) ForceExactSync() {
+	w.ecMu.Lock()
+	defer w.ecMu.Unlock()
+	for _, layer := range w.fpResp {
+		for _, r := range layer {
+			if r != nil {
+				r.ForceExact()
+			}
+		}
+	}
+}
+
+// ResetSessionState returns the worker to its just-constructed state for a
+// retry or replay: compensation state zeroed, publication stores emptied
+// (their epoch tags would otherwise be ahead of the replayed epoch and
+// panic), degraded-mode caches and delayed-aggregation caches cleared.
+// Ghost features survive — they are static preprocessing, re-fetched only
+// on a genuine respawn.
+func (w *Worker) ResetSessionState() {
+	w.ResetCompensation()
+	w.hStore.Reset()
+	w.gStore.Reset()
+	for l := range w.hLastGood {
+		for j := range w.hLastGood[l] {
+			w.hLastGood[l][j] = nil
+			w.hLastEpoch[l][j] = -1
+			w.gLastGood[l][j] = nil
+			w.gLastEpoch[l][j] = -1
+		}
+	}
+	for l := range w.ghostHCache {
+		w.ghostHCache[l] = nil
+	}
 }
 
 // FetchGhostFeatures pulls the owned feature rows of every ghost vertex
@@ -430,6 +556,10 @@ type EpochReport struct {
 	// transport's retries and were served from the stale cache or the
 	// ReqEC-FP prediction instead.
 	DegradedFetches int
+	// StragglerSkips counts the subset of DegradedFetches that were served
+	// proactively — the supervision layer flagged the peer suspect and the
+	// worker skipped the call rather than waiting out retries.
+	StragglerSkips int
 }
 
 // RunEpoch executes iteration t: pull parameters at version t, forward
@@ -437,6 +567,7 @@ type EpochReport struct {
 // gradients. It blocks on peers as needed and returns the local report.
 func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	w.degraded = 0
+	w.skips = 0
 	flat, err := w.cfg.PS.Pull(t)
 	if err != nil {
 		return EpochReport{}, fmt.Errorf("worker %d: pull: %w", w.id, err)
@@ -544,6 +675,7 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	}
 
 	// Bit-Tuner update from this epoch's responder-side selector outcomes.
+	w.ecMu.Lock()
 	if w.tuner != nil {
 		total := w.totalRows.Swap(0)
 		predicted := w.predictedRows.Swap(0)
@@ -551,8 +683,10 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 			w.tuner.Update(float64(predicted) / float64(total))
 		}
 	}
-	report.FPBits = w.FPBits()
+	report.FPBits = w.fpBitsLocked()
+	w.ecMu.Unlock()
 	report.DegradedFetches = w.degraded
+	report.StragglerSkips = w.skips
 	return report, nil
 }
 
