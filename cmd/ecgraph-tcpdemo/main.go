@@ -59,10 +59,11 @@ func main() {
 		chaosSpike = flag.Float64("chaos-spike", 0, "probability a remote call is delayed by -chaos-latency")
 		chaosLat   = flag.Duration("chaos-latency", 5*time.Millisecond, "latency spike duration")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for reproducible fault injection")
-		chaosCrash = flag.String("chaos-crash", "", "crash window node:from:to over the chaos call sequence (comma-separated for several)")
+		chaosCrash = flag.String("chaos-crash", "", "crash window node:from:to over each (src,dst) pair's own call sequence (comma-separated for several)")
 
-		timeout  = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
-		attempts = flag.Int("max-attempts", 4, "attempts per call, first try included")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
+		attempts    = flag.Int("max-attempts", 4, "attempts per call, first try included")
+		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
 
 		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection and automatic worker recovery")
 		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
@@ -90,11 +91,18 @@ func main() {
 		fmt.Printf("node %d listening on %s\n", i, tcp.Addr(i))
 	}
 
-	// Stack: Reliable(Chaos(TCP)). Chaos injects faults below the retry
-	// layer, so retries see fresh fault draws — exactly how a flaky real
-	// network behaves.
-	var net transport.Network = tcp
-	var chaos *transport.Chaos
+	// NewStack composes the wrapper layers in their one correct order —
+	// Concurrent(Reliable(Chaos(TCP))) — so chaos injects faults below the
+	// retry layer (retries see fresh fault draws, exactly how a flaky real
+	// network behaves) and fanned-out batches pass through the full path.
+	opts := []transport.StackOption{
+		transport.WithReliable(transport.ReliableConfig{
+			Timeout:     *timeout,
+			MaxAttempts: *attempts,
+			Seed:        *chaosSeed,
+		}),
+		transport.WithConcurrency(*concurrency),
+	}
 	chaotic := *chaosDrop > 0 || *chaosErr > 0 || *chaosSpike > 0 || *chaosCrash != ""
 	if chaotic {
 		ccfg := transport.ChaosConfig{
@@ -113,16 +121,12 @@ func main() {
 				ccfg.Crash = append(ccfg.Crash, w)
 			}
 		}
-		chaos = transport.NewChaos(tcp, ccfg)
-		net = chaos
+		opts = append(opts, transport.WithChaos(ccfg))
 		fmt.Printf("chaos enabled: drop %.2f, err %.2f, spike %.2f (%v), seed %d, crash %q\n",
 			*chaosDrop, *chaosErr, *chaosSpike, *chaosLat, *chaosSeed, *chaosCrash)
 	}
-	net = transport.NewReliable(net, *workers+*servers, transport.ReliableConfig{
-		Timeout:     *timeout,
-		MaxAttempts: *attempts,
-		Seed:        *chaosSeed,
-	})
+	stack := transport.NewStack(tcp, opts...)
+	fmt.Printf("transport: %s\n", stack)
 
 	cfg := core.Config{
 		Dataset: d,
@@ -133,7 +137,7 @@ func main() {
 		Epochs:  *epochs,
 		LR:      0.01,
 		Seed:    1,
-		Net:     net,
+		Net:     stack,
 		Worker: worker.Options{
 			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
 			FPBits: *bits, BPBits: *bits, Ttr: 10,
@@ -166,7 +170,7 @@ func main() {
 	fmt.Printf("\ntrained %d epochs over TCP: test accuracy %.4f, %s moved across sockets\n",
 		*epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
 	if chaotic {
-		inj := chaos.Injected()
+		inj := stack.Stats().Injected
 		fmt.Printf("injected: %d drops, %d errors, %d spikes, %d crashed calls\n",
 			inj.Drops, inj.Errors, inj.Spikes, inj.CrashedCalls)
 		fmt.Printf("recovered: %d retries, %d timeouts, %d give-ups, %d degraded ghost fetches (%d straggler skips)\n",

@@ -20,6 +20,7 @@ import (
 	"ecgraph/internal/partition"
 	"ecgraph/internal/supervise"
 	"ecgraph/internal/trace"
+	"ecgraph/internal/transport"
 	"ecgraph/internal/worker"
 )
 
@@ -48,24 +49,25 @@ func parseScheme(s string) (worker.Scheme, error) {
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "cora", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
-		model    = flag.String("model", "gcn", "gnn variant: gcn, sage or gat")
-		hidden   = flag.Int("hidden", 16, "hidden layer width")
-		layers   = flag.Int("layers", 2, "number of GNN layers")
-		workers  = flag.Int("workers", 4, "number of workers")
-		servers  = flag.Int("servers", 2, "number of parameter servers")
-		part     = flag.String("partitioner", "hash", "partitioner: hash or metis")
-		fp       = flag.String("fp", "ec", "forward scheme: raw, compress, ec")
-		bp       = flag.String("bp", "ec", "backward scheme: raw, compress, ec")
-		fpBits   = flag.Int("fp-bits", 2, "forward compression bits (1,2,4,8,16)")
-		bpBits   = flag.Int("bp-bits", 2, "backward compression bits")
-		adaptive = flag.Bool("adaptive", false, "enable the Bit-Tuner")
-		ttr      = flag.Int("ttr", 10, "ReqEC-FP trend group length")
-		delay    = flag.Int("delay", 0, "DistGNN-style delayed aggregation rounds (0 = off; requires -fp raw)")
-		epochs   = flag.Int("epochs", 60, "training epochs")
-		lr       = flag.Float64("lr", 0.01, "learning rate")
-		seed     = flag.Int64("seed", 1, "random seed")
-		traceOut = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file")
+		dataset     = flag.String("dataset", "cora", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
+		model       = flag.String("model", "gcn", "gnn variant: gcn, sage or gat")
+		hidden      = flag.Int("hidden", 16, "hidden layer width")
+		layers      = flag.Int("layers", 2, "number of GNN layers")
+		workers     = flag.Int("workers", 4, "number of workers")
+		servers     = flag.Int("servers", 2, "number of parameter servers")
+		part        = flag.String("partitioner", "hash", "partitioner: hash or metis")
+		fp          = flag.String("fp", "ec", "forward scheme: raw, compress, ec")
+		bp          = flag.String("bp", "ec", "backward scheme: raw, compress, ec")
+		fpBits      = flag.Int("fp-bits", 2, "forward compression bits (1,2,4,8,16)")
+		bpBits      = flag.Int("bp-bits", 2, "backward compression bits")
+		adaptive    = flag.Bool("adaptive", false, "enable the Bit-Tuner")
+		ttr         = flag.Int("ttr", 10, "ReqEC-FP trend group length")
+		delay       = flag.Int("delay", 0, "DistGNN-style delayed aggregation rounds (0 = off; requires -fp raw)")
+		epochs      = flag.Int("epochs", 60, "training epochs")
+		lr          = flag.Float64("lr", 0.01, "learning rate")
+		seed        = flag.Int64("seed", 1, "random seed")
+		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
+		traceOut    = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file")
 
 		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
 		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
@@ -134,6 +136,15 @@ func main() {
 		return
 	}
 
+	// The transport is always built through NewStack: here just the in-proc
+	// base plus bounded CallMulti fan-out, so ghost exchanges overlap peers'
+	// compression work.
+	stack := transport.NewStack(
+		transport.NewInProc(*workers+*servers),
+		transport.WithConcurrency(*concurrency),
+	)
+	defer stack.Close()
+
 	cfg := core.Config{
 		Dataset:     d,
 		Kind:        kind,
@@ -144,6 +155,7 @@ func main() {
 		Epochs:      *epochs,
 		LR:          *lr,
 		Seed:        *seed,
+		Net:         stack,
 		Worker: worker.Options{
 			FPScheme: fpScheme, BPScheme: bpScheme,
 			FPBits: *fpBits, BPBits: *bpBits,

@@ -11,9 +11,46 @@ package compress
 
 import (
 	"fmt"
+	"sync"
 
 	"ecgraph/internal/tensor"
 )
+
+// packedPool recycles the packed-word buffers of Quantized values released
+// with (*Quantized).Release — the hot allocation of every compressed
+// exchange. It stores *[]uint64 so Put does not allocate a fresh interface
+// box per slice header.
+var packedPool sync.Pool
+
+// maxPooledWords bounds pooled buffers (8 MiB) so one huge matrix doesn't
+// pin its backing array for the life of the process.
+const maxPooledWords = 1 << 20
+
+// getPacked returns a zeroed packed buffer of n words, reusing a pooled
+// backing array when one is large enough.
+func getPacked(n int) []uint64 {
+	if v := packedPool.Get(); v != nil {
+		s := *(v.(*[]uint64))
+		if cap(s) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]uint64, n)
+}
+
+// Release returns q's packed words to the shared pool. The Quantized and
+// any value decoded from it by reference must not be used afterwards; call
+// it once the matrix has been encoded to the wire or decompressed.
+func (q *Quantized) Release() {
+	if q == nil || cap(q.Packed) == 0 || cap(q.Packed) > maxPooledWords {
+		return
+	}
+	s := q.Packed
+	q.Packed = nil
+	packedPool.Put(&s)
+}
 
 // ValidBits is the bit-width menu used by the Bit-Tuner (Alg. 3).
 var ValidBits = []int{1, 2, 4, 8, 16}
@@ -58,7 +95,7 @@ func CompressWithRange(m *tensor.Matrix, bits int, lo, hi float32) *Quantized {
 	perWord := 64 / bits
 	q := &Quantized{
 		Rows: m.Rows, Cols: m.Cols, Bits: bits, Lo: lo, Hi: hi,
-		Packed: make([]uint64, (n+perWord-1)/perWord),
+		Packed: getPacked((n + perWord - 1) / perWord),
 	}
 	if n == 0 {
 		return q
@@ -71,15 +108,31 @@ func CompressWithRange(m *tensor.Matrix, bits int, lo, hi float32) *Quantized {
 		return q
 	}
 	scale := float32(buckets) / span
-	for i, v := range m.Data {
-		b := int((v - lo) * scale)
-		if b < 0 {
-			b = 0
-		} else if b >= buckets {
-			b = buckets - 1
+	// Parallelise over whole packed words: adjacent elements share a word,
+	// so splitting mid-word would race on the |= accumulation. Each worker
+	// builds its words locally and assigns them. The size gate counts words,
+	// not elements — a word is a couple of shifts of work, so small matrices
+	// pack faster serially than they can spawn goroutines.
+	tensor.ParallelRows(len(q.Packed), len(q.Packed), func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			base := w * perWord
+			end := base + perWord
+			if end > n {
+				end = n
+			}
+			var word uint64
+			for i := base; i < end; i++ {
+				b := int((m.Data[i] - lo) * scale)
+				if b < 0 {
+					b = 0
+				} else if b >= buckets {
+					b = buckets - 1
+				}
+				word |= uint64(b) << (uint(i-base) * uint(bits))
+			}
+			q.Packed[w] = word
 		}
-		q.Packed[i/perWord] |= uint64(b) << (uint(i%perWord) * uint(bits))
-	}
+	})
 	return q
 }
 
@@ -111,11 +164,20 @@ func (q *Quantized) Decompress() *tensor.Matrix {
 	for id := range table {
 		table[id] = q.BucketValue(id)
 	}
-	for i := 0; i < n; i++ {
-		w := q.Packed[i/perWord]
-		id := (w >> (uint(i%perWord) * uint(q.Bits))) & mask
-		out.Data[i] = table[id]
-	}
+	bits := uint(q.Bits)
+	tensor.ParallelRows(len(q.Packed), len(q.Packed), func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			word := q.Packed[w]
+			base := w * perWord
+			end := base + perWord
+			if end > n {
+				end = n
+			}
+			for i := base; i < end; i++ {
+				out.Data[i] = table[(word>>(uint(i-base)*bits))&mask]
+			}
+		}
+	})
 	return out
 }
 

@@ -36,7 +36,7 @@ func CompressZeroCentered(m *tensor.Matrix, bits int) *Quantized {
 	q := &Quantized{
 		Rows: m.Rows, Cols: m.Cols, Bits: bits, Lo: -mx, Hi: mx,
 		ZeroCentered: true,
-		Packed:       make([]uint64, (n+perWord-1)/perWord),
+		Packed:       getPacked((n + perWord - 1) / perWord),
 	}
 	if n == 0 || mx == 0 {
 		// All zeros: every id is 0, which decodes to level −mx = 0.
@@ -47,15 +47,29 @@ func CompressZeroCentered(m *tensor.Matrix, bits int) *Quantized {
 		levels = 2 // {−mx, +mx}: sign quantisation, no zero level
 	}
 	step := 2 * mx / float32(levels-1)
-	for i, v := range m.Data {
-		id := int((v+mx)/step + 0.5)
-		if id < 0 {
-			id = 0
-		} else if id >= levels {
-			id = levels - 1
+	// Word-parallel packing, same scheme as CompressWithRange: elements
+	// sharing a packed word stay on one worker, and the size gate counts
+	// words so small matrices stay serial.
+	tensor.ParallelRows(len(q.Packed), len(q.Packed), func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			base := w * perWord
+			end := base + perWord
+			if end > n {
+				end = n
+			}
+			var word uint64
+			for i := base; i < end; i++ {
+				id := int((m.Data[i]+mx)/step + 0.5)
+				if id < 0 {
+					id = 0
+				} else if id >= levels {
+					id = levels - 1
+				}
+				word |= uint64(id) << (uint(i-base) * uint(bits))
+			}
+			q.Packed[w] = word
 		}
-		q.Packed[i/perWord] |= uint64(id) << (uint(i%perWord) * uint(bits))
-	}
+	})
 	return q
 }
 

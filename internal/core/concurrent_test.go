@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// TestConcurrentExchangeRacesSupervision drives the full transport stack —
+// chaos on the ghost methods, retries above it, bounded CallMulti fan-out on
+// top — under heartbeat supervision with millisecond intervals. Its job is
+// race coverage: every epoch the workers' concurrent ghost fan-out (pooled
+// writers, pooled quantization scratch, per-pair chaos streams) runs against
+// the supervision plane's own goroutines (heartbeat senders, the monitor's
+// sweep loop, health consultations inside the exchange). Run it with -race;
+// without the flag it still checks the run completes and records every epoch.
+func TestConcurrentExchangeRacesSupervision(t *testing.T) {
+	const epochs = 8
+	cfg := ecCoraConfig(epochs)
+	cfg.Supervise = fastSupervision()
+
+	stack := transport.NewStack(
+		transport.NewInProc(cfg.Workers+cfg.Servers),
+		transport.WithChaos(transport.ChaosConfig{
+			Seed:     9,
+			DropRate: 0.05,
+			Methods:  []string{worker.MethodGetH, worker.MethodGetG},
+		}),
+		transport.WithReliable(transport.ReliableConfig{
+			Timeout:     200 * time.Millisecond,
+			MaxAttempts: 5,
+			BaseBackoff: 100 * time.Microsecond,
+		}),
+		transport.WithConcurrency(4),
+	)
+	defer stack.Close()
+	cfg.Net = stack
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatalf("supervised training over the concurrent stack failed: %v", err)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("recorded %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	st := stack.Stats()
+	if st.Injected.Drops == 0 {
+		t.Fatalf("chaos layer injected nothing — the retry path went unexercised")
+	}
+	var retries int64
+	for _, ns := range st.Nodes {
+		retries += ns.Retries
+	}
+	t.Logf("stack %s: %d drops injected, %d retries, %d recoveries, events %v",
+		stack, st.Injected.Drops, retries, res.Recoveries, eventKinds(res.SuperviseEvents))
+}

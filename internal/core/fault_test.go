@@ -28,12 +28,13 @@ func TestTrainThroughChaos(t *testing.T) {
 	chaos := transport.NewChaos(inner, transport.ChaosConfig{
 		Seed:     3,
 		DropRate: 0.10,
-		// One mid-training outage: ~12 eligible ghost calls per epoch (plus
-		// retries, which also advance the sequence), so calls 240-264 reject
-		// everything touching worker 1 for roughly two epochs — long enough
-		// to force degraded fetches, short enough to stay inside the default
-		// staleness bound.
-		Crash: []transport.CrashWindow{{Node: 1, From: 240, To: 264}},
+		// One mid-training outage. Crash windows count each (src,dst) pair's
+		// own eligible-call sequence, and every pair touching worker 1 sees
+		// ~2 ghost calls per epoch (plus retries, which also advance it), so
+		// seqs 44-49 reject everything touching worker 1 for roughly two to
+		// three epochs mid-run — long enough to force degraded fetches, short
+		// enough to stay inside the default staleness bound.
+		Crash: []transport.CrashWindow{{Node: 1, From: 44, To: 49}},
 		// Only ghost exchanges are faulted; the PS barrier stays clean so a
 		// lost push can never wedge the lockstep epoch. Parameter-path
 		// fault-tolerance is covered by the idempotent-push tests in ps.

@@ -38,6 +38,7 @@ func (r *BackwardResponder) Respond(g *tensor.Matrix, bits int) []byte {
 	w := transport.NewWriter(2 + len(q.Packed)*8)
 	w.Byte(schemeCompress)
 	w.Quantized(q)
+	q.Release()
 	return w.Bytes()
 }
 
@@ -113,6 +114,7 @@ func RespondCompressOnly(m *tensor.Matrix, bits int) []byte {
 	w := transport.NewWriter(2 + len(q.Packed)*8)
 	w.Byte(schemeCompress)
 	w.Quantized(q)
+	q.Release()
 	return w.Bytes()
 }
 
@@ -124,6 +126,7 @@ func RespondCompressOnlyGrad(m *tensor.Matrix, bits int) []byte {
 	w := transport.NewWriter(2 + len(q.Packed)*8)
 	w.Byte(schemeCompress)
 	w.Quantized(q)
+	q.Release()
 	return w.Bytes()
 }
 
@@ -143,7 +146,7 @@ func ParseMatrix(payload []byte) *tensor.Matrix {
 	case schemeRaw:
 		return r.Matrix()
 	case schemeCompress:
-		return r.Quantized().Decompress()
+		return decompressReleasing(r)
 	case schemeSparse:
 		return r.Sparse().Dense()
 	default:

@@ -161,6 +161,7 @@ func (r *ForwardResponder) respondSelected(h *tensor.Matrix, t, bits int) ([]byt
 		// encoded compactly as "no selector" (flag 0).
 		w.Byte(0)
 		w.Quantized(q)
+		q.Release()
 		return w.Bytes(), stats
 	}
 
@@ -171,7 +172,9 @@ func (r *ForwardResponder) respondSelected(h *tensor.Matrix, t, bits int) ([]byt
 	avg := pdt.Add(cps).ScaleInPlace(0.5)
 
 	if r.Granularity == GranularityMatrix {
-		return r.respondMatrixWise(h, cps, pdt, avg, q, w, stats)
+		out, st := r.respondMatrixWise(h, cps, pdt, avg, q, w, stats)
+		q.Release()
+		return out, st
 	}
 
 	// Per-vertex L1 distances (Eq. 10) and arg-min selection.
@@ -208,6 +211,8 @@ func (r *ForwardResponder) respondSelected(h *tensor.Matrix, t, bits int) ([]byt
 	w.Uint8s(packSelector(sel))
 	w.Uint32(uint32(len(sel)))
 	w.Quantized(filtered)
+	filtered.Release()
+	q.Release()
 	return w.Bytes(), stats
 }
 
@@ -234,6 +239,15 @@ func (r *ForwardResponder) respondMatrixWise(h, cps, pdt, avg *tensor.Matrix, q 
 		w.Quantized(q)
 	}
 	return w.Bytes(), stats
+}
+
+// decompressReleasing decodes a wire-format Quantized, reconstructs the
+// matrix and immediately returns the packed buffer to the compress pool.
+func decompressReleasing(r *transport.Reader) *tensor.Matrix {
+	q := r.Quantized()
+	m := q.Decompress()
+	q.Release()
+	return m
 }
 
 func rowL1(a, b *tensor.Matrix, row int) float64 {
@@ -329,7 +343,7 @@ func (q *ForwardRequester) Parse(payload []byte, t int) *tensor.Matrix {
 		switch flag := r.Byte(); flag {
 		case 0:
 			// No selector: everything compressed.
-			return r.Quantized().Decompress()
+			return decompressReleasing(r)
 		case 2:
 			// Matrix-wise selector: one id for the whole message.
 			id := int(r.Byte())
@@ -349,9 +363,9 @@ func (q *ForwardRequester) Parse(payload []byte, t int) *tensor.Matrix {
 			case SelPredicted:
 				return pdt
 			case SelCompressed:
-				return r.Quantized().Decompress()
+				return decompressReleasing(r)
 			case SelAverage:
-				return pdt.Add(r.Quantized().Decompress()).ScaleInPlace(0.5)
+				return pdt.Add(decompressReleasing(r)).ScaleInPlace(0.5)
 			default:
 				panic(fmt.Sprintf("ec: invalid matrix-wise selector id %d", id))
 			}
@@ -363,7 +377,7 @@ func (q *ForwardRequester) Parse(payload []byte, t int) *tensor.Matrix {
 		packed := r.Uint8s()
 		n := int(r.Uint32())
 		sel := unpackSelector(packed, n)
-		filtered := r.Quantized().Decompress()
+		filtered := decompressReleasing(r)
 		if !q.haveBase {
 			panic("ec: selected payload with selector before any trend baseline")
 		}

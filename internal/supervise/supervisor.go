@@ -410,7 +410,10 @@ func (s *Supervisor) Events() []Event {
 // stalled one (the exchange still happens once the staleness bound would
 // be exceeded — the worker only skips while a degraded serve is legal).
 func (s *Supervisor) SkipPeer(peer int) bool {
-	return s.det.Status(peer) != StatusHealthy
+	// Through the logging Status, not the raw detector: a transient suspect
+	// that silently degrades ghost fetches and leaves no trace in the event
+	// log is undiagnosable from the outside.
+	return s.Status(peer) != StatusHealthy
 }
 
 // PeerDeadline returns the straggler deadline for calls to the peer:

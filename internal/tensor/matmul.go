@@ -119,6 +119,16 @@ func (m *Matrix) TMatMul(n *Matrix) *Matrix {
 	return out
 }
 
+// ParallelRows splits [0,rows) across GOMAXPROCS workers when size (the
+// total number of elements the work touches) crosses the parallel
+// threshold; below it, work runs inline. work is called with disjoint
+// half-open chunks [lo, hi) and must not touch state outside its chunk.
+// Exported for sibling packages (compress) that parallelise per-element
+// loops with the same policy as the matmul kernels.
+func ParallelRows(rows, size int, work func(lo, hi int)) {
+	parallelRows(rows, size, work)
+}
+
 // parallelRows splits [0,rows) across GOMAXPROCS workers when size (the
 // number of output elements) crosses parallelThreshold.
 func parallelRows(rows, size int, work func(lo, hi int)) {

@@ -1,0 +1,46 @@
+package transport
+
+import "time"
+
+// Call describes one request in a CallMulti batch.
+type Call struct {
+	Dst    int
+	Method string
+	Req    []byte
+	// Timeout, when positive, bounds this call. Networks that implement
+	// DeadlineCaller honour it per attempt; others fall back to an
+	// undeadlined Call.
+	Timeout time.Duration
+}
+
+// Result carries the outcome of one Call in a CallMulti batch, at the same
+// index as its Call.
+type Result struct {
+	Resp []byte
+	Err  error
+}
+
+// doCall performs one Call against nw, routing through CallDeadline when a
+// timeout is requested and the network supports deadlines.
+func doCall(nw Network, src int, c Call) Result {
+	if c.Timeout > 0 {
+		if dc, ok := nw.(DeadlineCaller); ok {
+			resp, err := dc.CallDeadline(src, c.Dst, c.Method, c.Req, c.Timeout)
+			return Result{Resp: resp, Err: err}
+		}
+	}
+	resp, err := nw.Call(src, c.Dst, c.Method, c.Req)
+	return Result{Resp: resp, Err: err}
+}
+
+// SequentialMulti is the default CallMulti adapter: it issues the calls one
+// at a time, in order, against nw. Network implementations without native
+// batching delegate to it, so every Network supports CallMulti and callers
+// can opt into concurrency purely by stacking the Concurrent wrapper.
+func SequentialMulti(nw Network, src int, calls []Call) []Result {
+	results := make([]Result, len(calls))
+	for i, c := range calls {
+		results[i] = doCall(nw, src, c)
+	}
+	return results
+}

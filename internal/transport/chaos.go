@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,12 +14,13 @@ import (
 // errors.Is.
 var ErrInjected = errors.New("transport: injected fault")
 
-// CrashWindow takes one node offline for the half-open interval
-// [From, To) of the chaos layer's global call sequence: every remote call
-// whose source or destination is Node fails while the sequence counter is
-// inside the window, modelling a crash or a network partition that heals.
-// Failed attempts advance the sequence too, so retries eventually outlive
-// the window.
+// CrashWindow takes one node offline for the half-open interval [From, To)
+// of each (src,dst) pair's own call sequence: every remote call touching
+// Node fails while that pair's counter is inside the window, modelling a
+// crash or a network partition that heals. Failed attempts advance the
+// pair's sequence too, so retries eventually outlive the window. Windows
+// are per-pair (not a global call count) so the schedule each edge sees is
+// independent of how goroutines interleave across edges.
 type CrashWindow struct {
 	Node     int
 	From, To int64
@@ -40,7 +42,7 @@ type ChaosConfig struct {
 	// delivery (a latency spike on the link).
 	LatencyRate float64
 	Latency     time.Duration
-	// Crash lists per-node outage windows over the global call sequence.
+	// Crash lists per-node outage windows over each pair's call sequence.
 	Crash []CrashWindow
 	// Methods, when non-empty, restricts injection to calls whose method
 	// name is listed — e.g. only ghost exchanges, leaving the parameter
@@ -53,19 +55,38 @@ type ChaosStats struct {
 	Drops, Errors, Spikes, CrashedCalls int64
 }
 
+// FaultEvent records one injected fault for determinism auditing.
+type FaultEvent struct {
+	Src, Dst int
+	Seq      int64 // the (src,dst) pair's call sequence number
+	Kind     string
+	Method   string
+}
+
+// maxFaultLog bounds the fault event log so long soaks don't grow without
+// limit; determinism checks only need a prefix per edge anyway.
+const maxFaultLog = 1 << 16
+
 // Chaos wraps a Network and injects deterministic, seeded faults: dropped
 // requests, error responses, latency spikes and per-node crash windows.
 // Local calls (src == dst) model shared memory and are never faulted.
 // All injection happens before the inner call, so a failed attempt never
 // reaches the destination handler and handler-side state machines (the EC
 // responders, the PS barrier) only advance on delivered messages.
+//
+// Every fault decision is a pure function of (Seed, src, dst, pair
+// sequence), and each pair's sequence advances only with that pair's own
+// eligible calls, so concurrent callers on different edges cannot perturb
+// each other's fault schedules.
 type Chaos struct {
 	inner Network
 	cfg   ChaosConfig
 
-	seq     atomic.Int64 // global call sequence, drives crash windows
 	mu      sync.Mutex
 	pairSeq map[[2]int]*atomic.Int64
+
+	logMu sync.Mutex
+	log   []FaultEvent
 
 	drops, errs, spikes, crashed atomic.Int64
 }
@@ -83,6 +104,46 @@ func (c *Chaos) Injected() ChaosStats {
 		Spikes:       c.spikes.Load(),
 		CrashedCalls: c.crashed.Load(),
 	}
+}
+
+// FaultLog returns the injected fault events in canonical order — sorted by
+// (Src, Dst, Seq) — so two runs with the same seed and per-edge traffic
+// compare byte-identical regardless of goroutine interleaving. The log is
+// capped at maxFaultLog events.
+func (c *Chaos) FaultLog() []FaultEvent {
+	c.logMu.Lock()
+	out := make([]FaultEvent, len(c.log))
+	copy(out, c.log)
+	c.logMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// FormatFaultLog renders the canonical fault log one event per line, for
+// byte-for-byte comparison across runs.
+func FormatFaultLog(events []FaultEvent) string {
+	var b []byte
+	for _, e := range events {
+		b = append(b, fmt.Sprintf("%d->%d #%d %s %s\n", e.Src, e.Dst, e.Seq, e.Kind, e.Method)...)
+	}
+	return string(b)
+}
+
+func (c *Chaos) record(src, dst int, seq int64, kind, method string) {
+	c.logMu.Lock()
+	if len(c.log) < maxFaultLog {
+		c.log = append(c.log, FaultEvent{Src: src, Dst: dst, Seq: seq, Kind: kind, Method: method})
+	}
+	c.logMu.Unlock()
 }
 
 // Register implements Network.
@@ -127,15 +188,16 @@ func (c *Chaos) Call(src, dst int, method string, req []byte) ([]byte, error) {
 	if src == dst || !c.eligible(method) {
 		return c.inner.Call(src, dst, method, req)
 	}
-	n := c.seq.Add(1)
+	n := c.nextPairSeq(src, dst)
 	for _, w := range c.cfg.Crash {
 		if (w.Node == src || w.Node == dst) && n >= w.From && n < w.To {
 			c.crashed.Add(1)
-			return nil, fmt.Errorf("chaos: node %d down (call %d in window [%d,%d)): %w",
+			c.record(src, dst, n, "crash", method)
+			return nil, fmt.Errorf("chaos: node %d down (pair call %d in window [%d,%d)): %w",
 				w.Node, n, w.From, w.To, ErrInjected)
 		}
 	}
-	h := chaosMix(uint64(c.cfg.Seed), uint64(src)<<32^uint64(uint32(dst)), uint64(c.nextPairSeq(src, dst)))
+	h := chaosMix(uint64(c.cfg.Seed), uint64(src)<<32^uint64(uint32(dst)), uint64(n))
 	var u [3]float64
 	for i := range u {
 		h = splitmix64(h)
@@ -143,17 +205,26 @@ func (c *Chaos) Call(src, dst int, method string, req []byte) ([]byte, error) {
 	}
 	if u[0] < c.cfg.DropRate {
 		c.drops.Add(1)
+		c.record(src, dst, n, "drop", method)
 		return nil, fmt.Errorf("chaos: dropped %s %d→%d: %w", method, src, dst, ErrInjected)
 	}
 	if u[1] < c.cfg.ErrorRate {
 		c.errs.Add(1)
+		c.record(src, dst, n, "error", method)
 		return nil, fmt.Errorf("chaos: error response for %s %d→%d: %w", method, src, dst, ErrInjected)
 	}
 	if u[2] < c.cfg.LatencyRate && c.cfg.Latency > 0 {
 		c.spikes.Add(1)
+		c.record(src, dst, n, "spike", method)
 		time.Sleep(c.cfg.Latency)
 	}
 	return c.inner.Call(src, dst, method, req)
+}
+
+// CallMulti implements Network: each call takes its own fault draw from its
+// destination pair's stream.
+func (c *Chaos) CallMulti(src int, calls []Call) []Result {
+	return SequentialMulti(c, src, calls)
 }
 
 // splitmix64 is the SplitMix64 finaliser, a cheap high-quality bit mixer.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -144,6 +145,45 @@ func TestChaosPerPairIndependentOfInterleaving(t *testing.T) {
 	b, _ := mk()
 	if pa, pb := pattern(a, false), pattern(b, true); pa != pb {
 		t.Fatalf("pair (0,1) fault pattern depends on other pairs' traffic:\n%s\n%s", pa, pb)
+	}
+}
+
+func TestChaosFaultLogDeterministicUnderConcurrency(t *testing.T) {
+	// Acceptance criterion for the pipelined transport: a seeded chaos run
+	// must produce a byte-identical fault event log across runs even when
+	// every (src,dst) pair drives its calls from its own goroutine. Per-pair
+	// fault streams make the decisions independent of goroutine scheduling,
+	// and FaultLog sorts into canonical (src,dst,seq) order.
+	run := func() string {
+		nw := NewInProc(4)
+		for i := 0; i < 4; i++ {
+			nw.Register(i, echoHandler)
+		}
+		c := NewChaos(nw, ChaosConfig{Seed: 77, DropRate: 0.15, ErrorRate: 0.05})
+		var wg sync.WaitGroup
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				if src == dst {
+					continue
+				}
+				wg.Add(1)
+				go func(src, dst int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						c.Call(src, dst, "m", []byte("x")) // faults intentionally ignored
+					}
+				}(src, dst)
+			}
+		}
+		wg.Wait()
+		return FormatFaultLog(c.FaultLog())
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatalf("chaos injected nothing")
+	}
+	if a != b {
+		t.Fatalf("fault logs differ between identically-seeded concurrent runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"ecgraph/internal/compress"
 	"ecgraph/internal/tensor"
@@ -29,6 +30,34 @@ type Writer struct {
 // NewWriter returns a Writer with the given initial capacity.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// maxPooledWriter bounds the buffers the pool retains; one giant payload
+// shouldn't pin its backing array for the life of the process.
+const maxPooledWriter = 1 << 22 // 4 MiB
+
+// GetWriter returns a pooled Writer with at least the given capacity.
+// Release it with (*Writer).Release once its Bytes are no longer needed;
+// Bytes returned by a pooled Writer alias its buffer and become invalid at
+// Release.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = w.buf[:0]
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	}
+	return w
+}
+
+// Release returns the Writer to the pool. The Writer and any slice obtained
+// from Bytes must not be used afterwards.
+func (w *Writer) Release() {
+	if cap(w.buf) > maxPooledWriter {
+		return
+	}
+	writerPool.Put(w)
 }
 
 // Bytes returns the accumulated buffer.

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialMultiPreservesOrderAndErrors(t *testing.T) {
+	nw := newEchoInProc(4)
+	calls := []Call{
+		{Dst: 1, Method: "a", Req: []byte("x")},
+		{Dst: 9, Method: "b", Req: nil}, // out of range: must surface as its slot's error
+		{Dst: 2, Method: "c", Req: []byte("z")},
+	}
+	results := SequentialMulti(nw, 0, calls)
+	if len(results) != len(calls) {
+		t.Fatalf("got %d results for %d calls", len(results), len(calls))
+	}
+	if string(results[0].Resp) != "a/x" || results[0].Err != nil {
+		t.Fatalf("result 0 = %q, %v", results[0].Resp, results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatalf("bad destination did not error")
+	}
+	if string(results[2].Resp) != "c/z" || results[2].Err != nil {
+		t.Fatalf("result 2 = %q, %v", results[2].Resp, results[2].Err)
+	}
+}
+
+func TestEveryNetworkImplementsCallMulti(t *testing.T) {
+	// The batch API is part of the Network interface: spot-check that each
+	// layer answers a batch with index-aligned results.
+	inproc := newEchoInProc(3)
+	nets := []Network{
+		inproc,
+		NewChaos(newEchoInProc(3), ChaosConfig{Seed: 1}),
+		NewReliable(newEchoInProc(3), 3, ReliableConfig{MaxAttempts: 2, BaseBackoff: time.Microsecond}),
+		NewConcurrent(newEchoInProc(3), 2),
+		NewStack(newEchoInProc(3), WithConcurrency(2)),
+	}
+	for i, nw := range nets {
+		calls := []Call{{Dst: 1, Method: "m", Req: []byte("1")}, {Dst: 2, Method: "m", Req: []byte("2")}}
+		res := nw.CallMulti(0, calls)
+		if len(res) != 2 || string(res[0].Resp) != "m/1" || string(res[1].Resp) != "m/2" {
+			t.Fatalf("net %d: batch results %+v", i, res)
+		}
+	}
+}
+
+func TestCallMultiTimeoutRoutesThroughDeadline(t *testing.T) {
+	nw := NewInProc(2)
+	nw.Register(1, func(method string, req []byte) ([]byte, error) {
+		time.Sleep(100 * time.Millisecond)
+		return req, nil
+	})
+	r := NewReliable(nw, 2, ReliableConfig{MaxAttempts: 1, BaseBackoff: time.Microsecond})
+	start := time.Now()
+	res := r.CallMulti(0, []Call{{Dst: 1, Method: "slow", Timeout: 5 * time.Millisecond}})
+	if !errors.Is(res[0].Err, ErrTimeout) {
+		t.Fatalf("per-call Timeout not honoured: %v", res[0].Err)
+	}
+	if elapsed := time.Since(start); elapsed > 80*time.Millisecond {
+		t.Fatalf("timed-out batch call blocked for %v", elapsed)
+	}
+}
+
+func TestConcurrentFanOutOverlapsCalls(t *testing.T) {
+	const calls, delay = 8, 20 * time.Millisecond
+	nw := NewInProc(calls + 1)
+	for i := 1; i <= calls; i++ {
+		nw.Register(i, func(method string, req []byte) ([]byte, error) {
+			time.Sleep(delay)
+			return req, nil
+		})
+	}
+	c := NewConcurrent(nw, calls)
+	batch := make([]Call, calls)
+	for i := range batch {
+		batch[i] = Call{Dst: i + 1, Method: "m", Req: []byte{byte(i)}}
+	}
+	start := time.Now()
+	results := c.CallMulti(0, batch)
+	elapsed := time.Since(start)
+	for i, r := range results {
+		if r.Err != nil || len(r.Resp) != 1 || r.Resp[0] != byte(i) {
+			t.Fatalf("result %d misaligned: %+v", i, r)
+		}
+	}
+	// Sequential would take calls*delay; full fan-out should be near delay.
+	if elapsed > time.Duration(calls)*delay/2 {
+		t.Fatalf("fan-out took %v, sequential would be %v", elapsed, time.Duration(calls)*delay)
+	}
+}
+
+func TestConcurrentLimitBoundsInFlight(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int64
+	nw := NewInProc(2)
+	nw.Register(1, func(method string, req []byte) ([]byte, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+		return req, nil
+	})
+	c := NewConcurrent(nw, limit)
+	batch := make([]Call, 12)
+	for i := range batch {
+		batch[i] = Call{Dst: 1, Method: "m"}
+	}
+	for _, r := range c.CallMulti(0, batch) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("%d calls in flight, limit %d", p, limit)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("no overlap observed (peak %d), fan-out inert", p)
+	}
+}
+
+func TestConcurrentSingleCallStaysSequential(t *testing.T) {
+	c := NewConcurrent(newEchoInProc(2), 8)
+	res := c.CallMulti(0, []Call{{Dst: 1, Method: "m", Req: []byte("x")}})
+	if len(res) != 1 || string(res[0].Resp) != "m/x" {
+		t.Fatalf("single-call batch: %+v", res)
+	}
+	resp, err := c.Call(0, 1, "m", []byte("y"))
+	if err != nil || string(resp) != "m/y" {
+		t.Fatalf("plain Call through Concurrent: %q, %v", resp, err)
+	}
+}
+
+func TestConcurrentResultsDeterministicAcrossRuns(t *testing.T) {
+	// Fan-out must change scheduling, never results: the merged output of a
+	// batch is identical run to run because results are index-aligned.
+	run := func() string {
+		c := NewConcurrent(newEchoInProc(9), 4)
+		batch := make([]Call, 8)
+		for i := range batch {
+			batch[i] = Call{Dst: i%8 + 1, Method: "m", Req: []byte(fmt.Sprintf("p%d", i))}
+		}
+		var out string
+		for _, r := range c.CallMulti(0, batch) {
+			out += string(r.Resp) + ";"
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fan-out results differ between runs:\n%s\n%s", a, b)
+	}
+}

@@ -8,6 +8,13 @@ import (
 
 // Handler serves one RPC method dispatch on a node. Handlers must be safe
 // for concurrent calls: every peer may request simultaneously.
+//
+// Buffer ownership: req is valid only for the duration of the handler call
+// — on the in-process network it aliases the caller's (possibly pooled)
+// request buffer, so a handler that needs bytes past its return must copy
+// them (the codec Reader already copies everything it decodes). The
+// returned response transfers ownership to the transport/caller; handlers
+// must not retain or mutate it after returning.
 type Handler func(method string, req []byte) ([]byte, error)
 
 // Stats is a snapshot of a node's traffic counters.
@@ -36,6 +43,11 @@ type Network interface {
 	Register(node int, h Handler)
 	// Call sends req from src to dst and returns dst's response.
 	Call(src, dst int, method string, req []byte) ([]byte, error)
+	// CallMulti issues a batch of calls on behalf of src and returns one
+	// Result per Call, index-aligned. Implementations without native
+	// batching delegate to SequentialMulti; the Concurrent wrapper fans the
+	// batch out across bounded goroutines.
+	CallMulti(src int, calls []Call) []Result
 	// NodeStats returns node's traffic snapshot.
 	NodeStats(node int) Stats
 	// ResetStats zeroes all counters (called at epoch boundaries).
@@ -101,6 +113,18 @@ func (nw *InProc) Call(src, dst int, method string, req []byte) ([]byte, error) 
 		out.messages.Add(1)
 	}
 	return resp, nil
+}
+
+// CallMulti implements Network.
+func (nw *InProc) CallMulti(src int, calls []Call) []Result {
+	return SequentialMulti(nw, src, calls)
+}
+
+// NumNodes returns the number of nodes in the cluster.
+func (nw *InProc) NumNodes() int {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return len(nw.handlers)
 }
 
 // frameOverhead approximates per-message framing: length prefix, method

@@ -130,6 +130,15 @@ func (r *Reliable) ResetStats() {
 // Close implements Network.
 func (r *Reliable) Close() error { return r.inner.Close() }
 
+// CallMulti implements Network: each call gets the full retry policy, with
+// a positive per-call Timeout overriding the configured deadline.
+func (r *Reliable) CallMulti(src int, calls []Call) []Result {
+	return SequentialMulti(r, src, calls)
+}
+
+// NumNodes returns the node count the wrapper was sized for.
+func (r *Reliable) NumNodes() int { return len(r.counters) }
+
 // AvgLatency returns the EWMA of successful remote response times to the
 // destination node, or zero before the first sample.
 func (r *Reliable) AvgLatency(dst int) time.Duration {
@@ -204,7 +213,9 @@ func (r *Reliable) CallDeadline(src, dst int, method string, req []byte, timeout
 // callOnce runs one attempt under the given deadline. On timeout the
 // inner call keeps running in a leaked goroutine — acceptable for abandoned
 // attempts because every handler is idempotent and the goroutine ends with
-// the call.
+// the call. The request is copied before the timed attempt: the abandoned
+// goroutine may outlive the caller's use of req, and callers recycle
+// request buffers through the writer pool.
 func (r *Reliable) callOnce(src, dst int, method string, req []byte, timeout time.Duration) ([]byte, error) {
 	if timeout <= 0 {
 		return r.inner.Call(src, dst, method, req)
@@ -213,9 +224,10 @@ func (r *Reliable) callOnce(src, dst int, method string, req []byte, timeout tim
 		resp []byte
 		err  error
 	}
+	owned := append([]byte(nil), req...)
 	done := make(chan result, 1)
 	go func() {
-		resp, err := r.inner.Call(src, dst, method, req)
+		resp, err := r.inner.Call(src, dst, method, owned)
 		done <- result{resp, err}
 	}()
 	timer := time.NewTimer(timeout)

@@ -23,6 +23,12 @@ func (f *faultyNet) Call(src, dst int, method string, req []byte) ([]byte, error
 	return f.Network.Call(src, dst, method, req)
 }
 
+// CallMulti routes through the fake's own Call so batched calls see the
+// scripted faults too.
+func (f *faultyNet) CallMulti(src int, calls []Call) []Result {
+	return SequentialMulti(f, src, calls)
+}
+
 func newEchoInProc(n int) *InProc {
 	nw := NewInProc(n)
 	for i := 0; i < n; i++ {

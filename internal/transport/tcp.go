@@ -13,25 +13,129 @@ import (
 // It exists to prove the EC-Graph protocol end-to-end over an actual
 // transport: same handlers, same codec, same byte accounting as InProc.
 //
+// Connections are pipelined: each (src,dst) pair shares one pooled
+// connection carrying many in-flight requests, matched to responses by a
+// per-connection request id. A dedicated reader goroutine demultiplexes
+// responses; the server spawns one goroutine per request so slow handlers
+// don't head-of-line-block the stream.
+//
 // Frame format (little-endian), both directions:
 //
-//	uint32 payload length (method + body, or status + body)
-//	request:  uint8 method length, method bytes, body
-//	response: uint8 status (0 ok, 1 error), body (or error string)
+//	uint32 payload length (id + method + body, or id + status + body)
+//	request:  uint32 request id, uint8 method length, method bytes, body
+//	response: uint32 request id, uint8 status (0 ok, 1 error), body (or error string)
 type TCPCluster struct {
 	mu        sync.RWMutex
 	listeners []net.Listener
 	addrs     []string
 	handlers  []Handler
 	counters  []nodeCounters
-	conns     map[[2]int]*tcpConn // (src,dst) → pooled connection
+	conns     map[[2]int]*tcpConn // (src,dst) → pooled pipelined connection
 	closed    bool
 	wg        sync.WaitGroup
 }
 
+// tcpConn is one pipelined client connection. Writers serialise frame
+// writes under wmu; the connection's reader goroutine (readLoop) routes
+// each response to the channel enrolled under mu for its request id. Any
+// stream error kills the whole connection: err is set once, every pending
+// channel is closed, and callers evict + redial.
 type tcpConn struct {
-	mu sync.Mutex // serialises request/response pairs on the connection
-	c  net.Conn
+	c   net.Conn
+	wmu sync.Mutex // serialises request frame writes
+
+	mu      sync.Mutex // guards pending, nextID, err
+	pending map[uint32]chan []byte
+	nextID  uint32
+	err     error
+}
+
+// fail marks the connection dead (first error wins), closes the socket and
+// releases every in-flight caller by closing its pending channel.
+func (conn *tcpConn) fail(err error) {
+	conn.mu.Lock()
+	if conn.err == nil {
+		conn.err = err
+	}
+	pending := conn.pending
+	conn.pending = make(map[uint32]chan []byte)
+	conn.mu.Unlock()
+	conn.c.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// deathErr returns the error the connection died with.
+func (conn *tcpConn) deathErr() error {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.err != nil {
+		return conn.err
+	}
+	return errors.New("connection failed")
+}
+
+// roundTrip sends one request over the pipelined connection and waits for
+// its matching response payload ([status, body...]). Safe for any number of
+// concurrent callers.
+func (conn *tcpConn) roundTrip(method string, req []byte) ([]byte, error) {
+	conn.mu.Lock()
+	if conn.err != nil {
+		err := conn.err
+		conn.mu.Unlock()
+		return nil, err
+	}
+	conn.nextID++
+	id := conn.nextID
+	ch := make(chan []byte, 1)
+	conn.pending[id] = ch
+	conn.mu.Unlock()
+
+	frame := make([]byte, 4+1+len(method)+len(req))
+	binary.LittleEndian.PutUint32(frame, id)
+	frame[4] = byte(len(method))
+	copy(frame[5:], method)
+	copy(frame[5+len(method):], req)
+
+	conn.wmu.Lock()
+	err := writeFrame(conn.c, frame)
+	conn.wmu.Unlock()
+	if err != nil {
+		conn.fail(fmt.Errorf("write: %w", err))
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, conn.deathErr()
+	}
+	return resp, nil
+}
+
+// readLoop demultiplexes response frames to their in-flight callers. Any
+// read error or protocol violation kills the connection.
+func (tc *TCPCluster) readLoop(conn *tcpConn) {
+	defer tc.wg.Done()
+	for {
+		payload, err := readFrame(conn.c)
+		if err != nil {
+			conn.fail(fmt.Errorf("read: %w", err))
+			return
+		}
+		if len(payload) < 5 {
+			conn.fail(errors.New("empty response frame"))
+			return
+		}
+		id := binary.LittleEndian.Uint32(payload)
+		conn.mu.Lock()
+		ch, ok := conn.pending[id]
+		delete(conn.pending, id)
+		conn.mu.Unlock()
+		if !ok {
+			conn.fail(fmt.Errorf("response for unknown request id %d", id))
+			return
+		}
+		ch <- payload[4:]
+	}
 }
 
 // NewTCPCluster starts n loopback listeners and returns the cluster.
@@ -68,33 +172,45 @@ func (tc *TCPCluster) serve(node int, ln net.Listener) {
 			return // listener closed
 		}
 		tc.wg.Add(1)
+		go tc.serveConn(node, conn)
+	}
+}
+
+// serveConn reads pipelined request frames off one accepted connection and
+// dispatches each to its own handler goroutine, so a slow request doesn't
+// block the ones queued behind it. Responses are written back under a
+// per-connection mutex; a malformed frame closes the connection (after
+// in-flight requests drain).
+func (tc *TCPCluster) serveConn(node int, conn net.Conn) {
+	defer tc.wg.Done()
+	defer conn.Close()
+	var wmu sync.Mutex
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(payload) < 5 {
+			return // not even an id and a method-length byte
+		}
+		id := binary.LittleEndian.Uint32(payload)
+		mlen := int(payload[4])
+		if 5+mlen > len(payload) {
+			return // bad method length
+		}
+		method := string(payload[5 : 5+mlen])
+		body := payload[5+mlen:] // readFrame allocates per frame: goroutine owns it
+		inflight.Add(1)
 		go func() {
-			defer tc.wg.Done()
-			defer conn.Close()
-			for {
-				if err := tc.serveOne(node, conn); err != nil {
-					return
-				}
-			}
+			defer inflight.Done()
+			tc.handleRequest(node, conn, &wmu, id, method, body)
 		}()
 	}
 }
 
-func (tc *TCPCluster) serveOne(node int, conn net.Conn) error {
-	payload, err := readFrame(conn)
-	if err != nil {
-		return err
-	}
-	if len(payload) < 1 {
-		return errors.New("transport: empty request frame")
-	}
-	mlen := int(payload[0])
-	if 1+mlen > len(payload) {
-		return errors.New("transport: bad method length")
-	}
-	method := string(payload[1 : 1+mlen])
-	body := payload[1+mlen:]
-
+func (tc *TCPCluster) handleRequest(node int, conn net.Conn, wmu *sync.Mutex, id uint32, method string, body []byte) {
 	tc.mu.RLock()
 	h := tc.handlers[node]
 	tc.mu.RUnlock()
@@ -110,10 +226,18 @@ func (tc *TCPCluster) serveOne(node int, conn net.Conn) error {
 	} else {
 		resp = out
 	}
-	frame := make([]byte, 1+len(resp))
-	frame[0] = status
-	copy(frame[1:], resp)
-	return writeFrame(conn, frame)
+	frame := make([]byte, 4+1+len(resp))
+	binary.LittleEndian.PutUint32(frame, id)
+	frame[4] = status
+	copy(frame[5:], resp)
+	wmu.Lock()
+	err := writeFrame(conn, frame)
+	wmu.Unlock()
+	if err != nil {
+		// The response stream is in an unknown state; kill the connection so
+		// the client's reader fails fast and redials.
+		conn.Close()
+	}
 }
 
 // maxFrame bounds a single frame's payload in both directions: readFrame
@@ -182,32 +306,27 @@ func (tc *TCPCluster) Call(src, dst int, method string, req []byte) ([]byte, err
 		return h(method, req)
 	}
 
-	frame := make([]byte, 1+len(method)+len(req))
-	frame[0] = byte(len(method))
-	copy(frame[1:], method)
-	copy(frame[1+len(method):], req)
-
 	conn, err := tc.conn(src, dst)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := tc.exchange(conn, frame)
+	resp, err := conn.roundTrip(method, req)
 	if err != nil {
 		// The pooled connection is dead (peer restart, mid-frame failure, a
-		// previous caller's desync): evict it so it is never handed out
-		// again, then redial once and retry the exchange.
+		// protocol violation): evict it so it is never handed out again, then
+		// redial once and retry the round trip.
 		tc.evict(src, dst, conn)
 		if conn, err = tc.conn(src, dst); err != nil {
 			return nil, fmt.Errorf("transport: redial %d→%d: %w", src, dst, err)
 		}
-		if resp, err = tc.exchange(conn, frame); err != nil {
+		if resp, err = conn.roundTrip(method, req); err != nil {
 			tc.evict(src, dst, conn)
 			return nil, fmt.Errorf("transport: %s %d→%d: %w", method, src, dst, err)
 		}
 	}
 
-	reqWire := int64(4 + len(frame))
-	respWire := int64(4 + len(resp))
+	reqWire := int64(4 + 4 + 1 + len(method) + len(req)) // len prefix + id + mlen + method + body
+	respWire := int64(4 + 4 + len(resp))                 // len prefix + id + status + body
 	out := &tc.counters[src]
 	in := &tc.counters[dst]
 	out.bytesOut.Add(reqWire)
@@ -219,29 +338,20 @@ func (tc *TCPCluster) Call(src, dst int, method string, req []byte) ([]byte, err
 	if resp[0] != 0 {
 		return nil, fmt.Errorf("transport: call %s %d→%d: %s", method, src, dst, resp[1:])
 	}
-	body := make([]byte, len(resp)-1)
-	copy(body, resp[1:])
-	return body, nil
+	// resp is this frame's private buffer; hand the body straight out.
+	return resp[1:], nil
 }
 
-// exchange performs one request/response round trip on a pooled connection.
-// Any error leaves the stream in an unknown state, so callers must evict the
-// connection on failure.
-func (tc *TCPCluster) exchange(conn *tcpConn, frame []byte) ([]byte, error) {
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if err := writeFrame(conn.c, frame); err != nil {
-		return nil, fmt.Errorf("write: %w", err)
-	}
-	resp, err := readFrame(conn.c)
-	if err != nil {
-		return nil, fmt.Errorf("read: %w", err)
-	}
-	if len(resp) < 1 {
-		return nil, errors.New("empty response frame")
-	}
-	return resp, nil
+// CallMulti implements Network. The sequential adapter already pipelines
+// nothing by itself; concurrency comes from the Concurrent wrapper, whose
+// fan-out this transport absorbs with many in-flight requests per
+// connection.
+func (tc *TCPCluster) CallMulti(src int, calls []Call) []Result {
+	return SequentialMulti(tc, src, calls)
 }
+
+// NumNodes returns the number of nodes in the cluster.
+func (tc *TCPCluster) NumNodes() int { return len(tc.addrs) }
 
 // evict removes a broken pooled connection so the next Call redials. The
 // check against the current map entry keeps a concurrent caller's fresh
@@ -273,12 +383,17 @@ func (tc *TCPCluster) conn(src, dst int) (*tcpConn, error) {
 	if c, ok := tc.conns[key]; ok {
 		return c, nil
 	}
+	if tc.closed {
+		return nil, errors.New("transport: cluster closed")
+	}
 	raw, err := net.Dial("tcp", tc.addrs[dst])
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %d→%d: %w", src, dst, err)
 	}
-	c = &tcpConn{c: raw}
+	c = &tcpConn{c: raw, pending: make(map[uint32]chan []byte)}
 	tc.conns[key] = c
+	tc.wg.Add(1) // under tc.mu, so Close cannot Wait before this Add
+	go tc.readLoop(c)
 	return c, nil
 }
 

@@ -1,0 +1,171 @@
+package worker
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/ps"
+	"ecgraph/internal/transport"
+)
+
+// benchLatency is the injected per-remote-call latency. Real deployments pay
+// it on every RPC; the concurrent exchange hides it by overlapping calls,
+// the sequential one pays peers × latency per layer.
+const benchLatency = 2 * time.Millisecond
+
+// delayNet delays every remote call by a fixed latency, modelling network
+// round-trip time over the instantaneous in-proc transport. CallMulti routes
+// through the wrapper's own Call so a Concurrent wrapper above it overlaps
+// the sleeps — exactly what it would overlap on real sockets.
+type delayNet struct {
+	transport.Network
+	d time.Duration
+}
+
+func (n *delayNet) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if src != dst {
+		time.Sleep(n.d)
+	}
+	return n.Network.Call(src, dst, method, req)
+}
+
+func (n *delayNet) CallMulti(src int, calls []transport.Call) []transport.Result {
+	return transport.SequentialMulti(n, src, calls)
+}
+
+// benchCluster wires nWorkers EC workers and one parameter server over net,
+// runs epochs epochs with all workers in parallel (as the engine does), and
+// returns the total wall-clock time of the epoch loop.
+func benchCluster(tb testing.TB, d *datasets.Dataset, net transport.Network, nWorkers, epochs int) time.Duration {
+	tb.Helper()
+	adj := graph.Normalize(d.Graph)
+	assign := make([]int, d.Graph.N)
+	for v := range assign {
+		assign[v] = v % nWorkers
+	}
+	topo := BuildTopology(d.Graph, assign, nWorkers)
+
+	dims := []int{d.NumFeatures(), 16, d.NumClasses}
+	template := nn.NewModel(nn.KindGCN, dims, 1)
+	flat := template.FlattenParams()
+	ranges := ps.Ranges(len(flat), 1)
+	net.Register(nWorkers, ps.NewServer(flat, 0.01, nWorkers).Handler())
+
+	nTrain := len(d.TrainIdx())
+	workers := make([]*Worker, nWorkers)
+	for i := range workers {
+		workers[i] = New(Config{
+			ID: i, Net: net, Topo: topo, Adj: adj,
+			Feats: d.Features, Labels: d.Labels, TrainMask: d.TrainMask,
+			NumTrainGlobal: nTrain,
+			Model:          nn.NewModel(nn.KindGCN, dims, 1),
+			PS:             ps.NewClient(net, i, []int{nWorkers}, ranges),
+			Opts: Options{
+				FPScheme: SchemeEC, BPScheme: SchemeEC,
+				FPBits: 2, BPBits: 2, Ttr: 10,
+			},
+		})
+		net.Register(i, workers[i].Handler())
+	}
+	for _, w := range workers {
+		if err := w.FetchGhostFeatures(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		errs := make(chan error, nWorkers)
+		for _, w := range workers {
+			go func(w *Worker) {
+				_, err := w.RunEpoch(e)
+				errs <- err
+			}(w)
+		}
+		for range workers {
+			if err := <-errs; err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return time.Since(start)
+}
+
+// TestExchangeConcurrencySpeedup is the PR's acceptance benchmark: 8 in-proc
+// workers with 2ms injected per-call latency, sequential ghost exchange vs
+// the Concurrent stack fanning calls out per batch. The concurrent exchange
+// must cut epoch time by at least 1.5x; the measured numbers are recorded in
+// BENCH_exchange.json at the repo root for CI to archive.
+func TestExchangeConcurrencySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing benchmark skipped under -race: instrumented compute swamps the injected latency")
+	}
+	const (
+		nWorkers = 8
+		epochs   = 6
+	)
+	d := datasets.MustLoad("cora")
+
+	seqNet := &delayNet{Network: transport.NewInProc(nWorkers + 1), d: benchLatency}
+	seqTime := benchCluster(t, d, seqNet, nWorkers, epochs)
+
+	concNet := transport.NewStack(
+		&delayNet{Network: transport.NewInProc(nWorkers + 1), d: benchLatency},
+		transport.WithConcurrency(nWorkers),
+	)
+	concTime := benchCluster(t, d, concNet, nWorkers, epochs)
+
+	speedup := float64(seqTime) / float64(concTime)
+	t.Logf("sequential %v, concurrent %v, speedup %.2fx", seqTime, concTime, speedup)
+
+	out := map[string]any{
+		"benchmark":      "ghost-exchange",
+		"workers":        nWorkers,
+		"epochs":         epochs,
+		"latency_ms":     float64(benchLatency) / float64(time.Millisecond),
+		"sequential_ms":  float64(seqTime) / float64(time.Millisecond),
+		"concurrent_ms":  float64(concTime) / float64(time.Millisecond),
+		"speedup":        speedup,
+		"min_speedup_ok": speedup >= 1.5,
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_exchange.json")
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if speedup < 1.5 {
+		t.Fatalf("concurrent exchange speedup %.2fx below the 1.5x floor (sequential %v, concurrent %v)",
+			speedup, seqTime, concTime)
+	}
+}
+
+// BenchmarkGhostExchange measures one supervised epoch loop at each fan-out
+// width, for profiling the transport stack without the JSON bookkeeping.
+func BenchmarkGhostExchange(b *testing.B) {
+	d := datasets.MustLoad("cora")
+	for _, conc := range []int{1, 8} {
+		b.Run(fmt.Sprintf("concurrency-%d", conc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := transport.NewStack(
+					&delayNet{Network: transport.NewInProc(9), d: benchLatency},
+					transport.WithConcurrency(conc),
+				)
+				benchCluster(b, d, net, 8, 2)
+			}
+		})
+	}
+}

@@ -2,29 +2,60 @@ package worker
 
 import (
 	"fmt"
+	"time"
 
 	"ecgraph/internal/ec"
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
 )
 
-// callPeer routes one ghost exchange with peer j through the transport.
-// When supervision provides a positive per-peer straggler deadline and the
-// transport supports per-call overrides, the call carries that deadline;
-// otherwise it is a plain Call under the transport's default timeout.
-func (w *Worker) callPeer(j int, method string, req []byte) ([]byte, error) {
-	if w.cfg.Health != nil && w.deadlineNet != nil {
-		if d := w.cfg.Health.PeerDeadline(j); d > 0 {
-			return w.deadlineNet.CallDeadline(w.id, j, method, req, d)
-		}
+// peerTimeout returns the supervision layer's per-peer straggler deadline
+// for calls to j; zero keeps the transport's default timeout. The deadline
+// travels inside transport.Call so it applies whether the call runs
+// sequentially or inside a concurrent fan-out.
+func (w *Worker) peerTimeout(j int) time.Duration {
+	if w.cfg.Health != nil {
+		return w.cfg.Health.PeerDeadline(j)
 	}
-	return w.cfg.Net.Call(w.id, j, method, req)
+	return 0
+}
+
+// callPeer routes one ghost exchange with peer j through the transport's
+// batch path, so per-peer straggler deadlines apply uniformly.
+func (w *Worker) callPeer(j int, method string, req []byte) ([]byte, error) {
+	res := w.cfg.Net.CallMulti(w.id, []transport.Call{{
+		Dst: j, Method: method, Req: req, Timeout: w.peerTimeout(j),
+	}})
+	return res[0].Resp, res[0].Err
+}
+
+// encodeGhostReq builds the common getH/getG request header into a pooled
+// writer; the caller must Release it after CallMulti returns.
+func (w *Worker) encodeGhostReq(l, t int, subset bool) *transport.Writer {
+	req := transport.GetWriter(16)
+	req.Byte(byte(l))
+	req.Uint32(uint32(t))
+	req.Int32(int32(w.id))
+	if !subset {
+		req.Byte(0) // no subset
+	}
+	return req
 }
 
 // fetchGhostH gathers the ghost rows of H^l for iteration t from every
 // owning peer (Alg. 3 on the requesting end), decoding per the configured
 // forward scheme. With delayed aggregation only the epoch's refresh subset
 // travels; the rest comes from the stale cache.
+//
+// The exchange runs in two phases. The request phase resolves proactive
+// skips, then hands the remaining peers' calls to the transport's CallMulti
+// in one batch — under the Concurrent wrapper they fan out across bounded
+// goroutines, with per-call straggler deadlines attached. The decode/merge
+// phase then walks ghostOwner order on the epoch goroutine: results are
+// index-aligned with the calls, rows land at fixed ghostBase offsets, and
+// the EC requester state plus degraded-mode bookkeeping stay
+// single-threaded, so the merged matrix is deterministic regardless of
+// completion order.
 //
 // When an exchange fails even after the transport's own retries, the worker
 // degrades gracefully instead of aborting the epoch: it serves the ReqEC-FP
@@ -41,18 +72,43 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 		return w.fetchGhostHDelayed(l, t, dim)
 	}
 	out := tensor.New(len(w.ghostIDs), dim)
+
+	served := make(map[int]*tensor.Matrix, len(w.ghostOwner))
+	callIdx := make(map[int]int, len(w.ghostOwner))
+	var calls []transport.Call
+	var writers []*transport.Writer
 	for _, j := range w.ghostOwner {
-		var rows *tensor.Matrix
-		var err error
 		if skipped := w.skipFallbackH(l, t, j); skipped != nil {
-			rows = skipped
-		} else if rows, err = w.requestH(l, t, j); err != nil {
-			if rows, err = w.degradedH(l, t, j, err); err != nil {
-				return nil, err
+			served[j] = skipped
+			continue
+		}
+		req := w.encodeGhostReq(l, t, false)
+		callIdx[j] = len(calls)
+		calls = append(calls, transport.Call{
+			Dst: j, Method: MethodGetH, Req: req.Bytes(), Timeout: w.peerTimeout(j),
+		})
+		writers = append(writers, req)
+	}
+	var results []transport.Result
+	if len(calls) > 0 {
+		results = w.cfg.Net.CallMulti(w.id, calls)
+		for _, wr := range writers {
+			wr.Release()
+		}
+	}
+
+	for _, j := range w.ghostOwner {
+		rows := served[j]
+		if rows == nil {
+			var err error
+			if rows, err = w.decodeH(l, t, j, results[callIdx[j]]); err != nil {
+				if rows, err = w.degradedH(l, t, j, err); err != nil {
+					return nil, err
+				}
+			} else {
+				w.hLastGood[l][j] = rows
+				w.hLastEpoch[l][j] = t
 			}
-		} else {
-			w.hLastGood[l][j] = rows
-			w.hLastEpoch[l][j] = t
 		}
 		base := w.ghostBase[j]
 		for r := 0; r < rows.Rows; r++ {
@@ -85,30 +141,26 @@ func (w *Worker) skipFallbackH(l, t, j int) *tensor.Matrix {
 	return w.hLastGood[l][j]
 }
 
-// requestH performs one ghost-embedding exchange with peer j. Decode panics
+// decodeH turns one getH result from peer j into ghost rows. Runs on the
+// epoch goroutine only — the per-(layer,owner) EC requester state is not
+// goroutine-safe and must never be touched from the fan-out. Decode panics
 // — e.g. an EC payload whose trend baseline this requester never received
 // because the boundary message was lost — are converted to errors so the
 // degraded path can take over.
-func (w *Worker) requestH(l, t, j int) (rows *tensor.Matrix, err error) {
+func (w *Worker) decodeH(l, t, j int, res transport.Result) (rows *tensor.Matrix, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rows = nil
 			err = fmt.Errorf("worker %d: decode getH(l=%d,t=%d) from %d: %v", w.id, l, t, j, r)
 		}
 	}()
-	req := transport.NewWriter(16)
-	req.Byte(byte(l))
-	req.Uint32(uint32(t))
-	req.Int32(int32(w.id))
-	req.Byte(0) // no subset
-	resp, err := w.callPeer(j, MethodGetH, req.Bytes())
-	if err != nil {
-		return nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+	if res.Err != nil {
+		return nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, res.Err)
 	}
 	if w.cfg.Opts.FPScheme == SchemeEC {
-		return w.fpReq[l][j].Parse(resp, t), nil
+		return w.fpReq[l][j].Parse(res.Resp, t), nil
 	}
-	return ec.ParseMatrix(resp), nil
+	return ec.ParseMatrix(res.Resp), nil
 }
 
 // degradedH picks the fallback for a failed H exchange with peer j, or
@@ -168,10 +220,6 @@ func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
 		if len(positions) == 0 {
 			continue
 		}
-		req := transport.NewWriter(16 + len(positions)*4)
-		req.Byte(byte(l))
-		req.Uint32(uint32(t))
-		req.Int32(int32(w.id))
 		if w.cfg.Health != nil && w.cfg.Health.SkipPeer(j) {
 			// Suspect peer: skip this refresh round and keep serving the
 			// stale cache, within the same staleness bound a failed call
@@ -184,9 +232,11 @@ func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
 				continue
 			}
 		}
+		req := w.encodeGhostReq(l, t, true)
 		req.Byte(1)
 		req.Int32s(positions)
 		resp, err := w.callPeer(j, MethodGetH, req.Bytes())
+		req.Release()
 		if err != nil {
 			// The cache is already stale-tolerant by design: skip this
 			// refresh round and serve the cached rows, within the same
@@ -210,7 +260,8 @@ func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
 	return cache, nil
 }
 
-// fetchGhostG gathers ghost rows of G^l for iteration t (Alg. 5). Like the
+// fetchGhostG gathers ghost rows of G^l for iteration t (Alg. 5) with the
+// same two-phase batch-then-merge structure as fetchGhostH. Like the
 // forward exchange it degrades to the last-good cached gradient rows when a
 // peer stays unreachable, within the MaxStaleEpochs bound.
 func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
@@ -218,23 +269,51 @@ func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
 		return nil, nil
 	}
 	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
+
+	served := make(map[int]*tensor.Matrix, len(w.ghostOwner))
+	callIdx := make(map[int]int, len(w.ghostOwner))
+	var calls []transport.Call
+	var writers []*transport.Writer
 	for _, j := range w.ghostOwner {
-		var rows *tensor.Matrix
-		var err error
 		if skipped := w.skipFallbackG(l, t, j); skipped != nil {
-			rows = skipped
-		} else if rows, err = w.requestG(l, t, j); err != nil {
-			bound := w.cfg.Opts.MaxStaleEpochs
-			last := w.gLastEpoch[l][j]
-			if bound < 0 || last < 0 || t-last > bound {
-				return nil, fmt.Errorf("worker %d: ghost G(l=%d) from %d unrecoverable at epoch %d (last good epoch %d, staleness bound %d): %w",
-					w.id, l, j, t, last, bound, err)
+			served[j] = skipped
+			continue
+		}
+		req := transport.GetWriter(16)
+		req.Byte(byte(l))
+		req.Uint32(uint32(t))
+		req.Int32(int32(w.id))
+		callIdx[j] = len(calls)
+		calls = append(calls, transport.Call{
+			Dst: j, Method: MethodGetG, Req: req.Bytes(), Timeout: w.peerTimeout(j),
+		})
+		writers = append(writers, req)
+	}
+	var results []transport.Result
+	if len(calls) > 0 {
+		results = w.cfg.Net.CallMulti(w.id, calls)
+		for _, wr := range writers {
+			wr.Release()
+		}
+	}
+
+	for _, j := range w.ghostOwner {
+		rows := served[j]
+		if rows == nil {
+			var err error
+			if rows, err = w.decodeG(l, t, j, results[callIdx[j]]); err != nil {
+				bound := w.cfg.Opts.MaxStaleEpochs
+				last := w.gLastEpoch[l][j]
+				if bound < 0 || last < 0 || t-last > bound {
+					return nil, fmt.Errorf("worker %d: ghost G(l=%d) from %d unrecoverable at epoch %d (last good epoch %d, staleness bound %d): %w",
+						w.id, l, j, t, last, bound, err)
+				}
+				w.degraded++
+				rows = w.gLastGood[l][j]
+			} else {
+				w.gLastGood[l][j] = rows
+				w.gLastEpoch[l][j] = t
 			}
-			w.degraded++
-			rows = w.gLastGood[l][j]
-		} else {
-			w.gLastGood[l][j] = rows
-			w.gLastEpoch[l][j] = t
 		}
 		base := w.ghostBase[j]
 		for r := 0; r < rows.Rows; r++ {
@@ -260,30 +339,27 @@ func (w *Worker) skipFallbackG(l, t, j int) *tensor.Matrix {
 	return w.gLastGood[l][j]
 }
 
-// requestG performs one ghost-gradient exchange with peer j, converting
-// decode panics into errors for the degraded path.
-func (w *Worker) requestG(l, t, j int) (rows *tensor.Matrix, err error) {
+// decodeG turns one getG result from peer j into ghost gradient rows,
+// converting decode panics into errors for the degraded path. Epoch
+// goroutine only.
+func (w *Worker) decodeG(l, t, j int, res transport.Result) (rows *tensor.Matrix, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rows = nil
 			err = fmt.Errorf("worker %d: decode getG(l=%d,t=%d) from %d: %v", w.id, l, t, j, r)
 		}
 	}()
-	req := transport.NewWriter(16)
-	req.Byte(byte(l))
-	req.Uint32(uint32(t))
-	req.Int32(int32(w.id))
-	resp, err := w.callPeer(j, MethodGetG, req.Bytes())
-	if err != nil {
-		return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, err)
+	if res.Err != nil {
+		return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, res.Err)
 	}
-	return ec.ParseMatrix(resp), nil
+	return ec.ParseMatrix(res.Resp), nil
 }
 
 // Handler returns the transport handler serving this worker's RPCs. It runs
 // on peer goroutines concurrently with RunEpoch; the matStore provides the
-// synchronisation, and per-(layer,requester) EC state is only ever touched
-// by its single requester's sequential calls.
+// synchronisation, and per-(layer,requester) EC state is guarded by ecMu —
+// with pipelined transports one requester's abandoned and fresh attempts
+// can overlap here.
 func (w *Worker) Handler() transport.Handler {
 	return func(method string, req []byte) (resp []byte, err error) {
 		defer func() {

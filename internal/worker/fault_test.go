@@ -27,6 +27,12 @@ func (f *flakyNet) Call(src, dst int, method string, req []byte) ([]byte, error)
 	return f.Network.Call(src, dst, method, req)
 }
 
+// CallMulti must route through the fake's own Call — the embedded
+// network's batch path would silently bypass the fault injection.
+func (f *flakyNet) CallMulti(src int, calls []transport.Call) []transport.Result {
+	return transport.SequentialMulti(f, src, calls)
+}
+
 // faultCluster is miniCluster with a fault-injectable network: it wires two
 // workers and one PS over InProc behind a flakyNet and returns a step
 // function running one epoch on both workers.

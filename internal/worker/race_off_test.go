@@ -1,0 +1,5 @@
+//go:build !race
+
+package worker
+
+const raceEnabled = false

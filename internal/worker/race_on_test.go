@@ -1,0 +1,8 @@
+//go:build race
+
+package worker
+
+// raceEnabled reports whether this binary was built with -race, so timing
+// benchmarks can skip themselves: instrumentation inflates compute enough to
+// swamp the injected latency the benchmark is measuring.
+const raceEnabled = true

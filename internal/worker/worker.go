@@ -227,10 +227,6 @@ type Worker struct {
 	predictedRows atomic.Int64
 	totalRows     atomic.Int64
 
-	// deadlineNet is non-nil when the transport supports per-call deadline
-	// overrides (the straggler-tolerance path).
-	deadlineNet transport.DeadlineCaller
-
 	// DistGNN delayed-aggregation ghost caches per layer.
 	ghostHCache []*tensor.Matrix
 
@@ -386,9 +382,6 @@ func New(cfg Config) *Worker {
 	if cfg.Opts.AdaptiveBits {
 		w.tuner = ec.NewBitTuner(cfg.Opts.FPBits)
 	}
-	if dn, ok := cfg.Net.(transport.DeadlineCaller); ok {
-		w.deadlineNet = dn
-	}
 	if cfg.Opts.DelayRounds >= 2 {
 		w.ghostHCache = make([]*tensor.Matrix, L+1)
 	}
@@ -531,14 +524,19 @@ func (w *Worker) ResetSessionState() {
 // preprocessing, not per-epoch communication.
 func (w *Worker) FetchGhostFeatures() error {
 	w.ghostX = tensor.New(len(w.ghostIDs), w.cfg.Feats.Cols)
-	for _, j := range w.ghostOwner {
-		req := transport.NewWriter(4)
-		req.Int32(int32(w.id))
-		resp, err := w.cfg.Net.Call(w.id, j, MethodGetX, req.Bytes())
-		if err != nil {
-			return fmt.Errorf("worker %d: fetch ghost features from %d: %w", w.id, j, err)
+	req := transport.NewWriter(4)
+	req.Int32(int32(w.id))
+	calls := make([]transport.Call, len(w.ghostOwner))
+	for i, j := range w.ghostOwner {
+		calls[i] = transport.Call{Dst: j, Method: MethodGetX, Req: req.Bytes()}
+	}
+	results := w.cfg.Net.CallMulti(w.id, calls)
+	for i, j := range w.ghostOwner {
+		res := results[i]
+		if res.Err != nil {
+			return fmt.Errorf("worker %d: fetch ghost features from %d: %w", w.id, j, res.Err)
 		}
-		rows := ec.ParseMatrix(resp)
+		rows := ec.ParseMatrix(res.Resp)
 		base := w.ghostBase[j]
 		for r := 0; r < rows.Rows; r++ {
 			copy(w.ghostX.Row(base+r), rows.Row(r))
