@@ -15,15 +15,25 @@ import (
 	"time"
 
 	"ecgraph/internal/experiments"
+	"ecgraph/internal/profile"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig6, fig7, fig8, table2, table4, table5, fig9, fig10, fig11) or 'all'")
-		quick = flag.Bool("quick", false, "run reduced configurations (small datasets, few epochs)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "experiment id (fig6, fig7, fig8, table2, table4, table5, fig9, fig10, fig11) or 'all'")
+		quick      = flag.Bool("quick", false, "run reduced configurations (small datasets, few epochs)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profile.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecgraph-bench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, name := range experiments.Names() {

@@ -64,6 +64,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
 		attempts    = flag.Int("max-attempts", 4, "attempts per call, first try included")
 		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
+		overlap     = flag.Bool("overlap", true, "overlap ghost communication with local computation in the epoch loop (false = sequential oracle)")
 
 		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection and automatic worker recovery")
 		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
@@ -141,6 +142,7 @@ func main() {
 		Worker: worker.Options{
 			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
 			FPBits: *bits, BPBits: *bits, Ttr: 10,
+			Overlap: *overlap,
 		},
 	}
 	if *supervised || *autoRollback {

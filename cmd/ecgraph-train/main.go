@@ -18,6 +18,7 @@ import (
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
 	"ecgraph/internal/partition"
+	"ecgraph/internal/profile"
 	"ecgraph/internal/supervise"
 	"ecgraph/internal/trace"
 	"ecgraph/internal/transport"
@@ -67,7 +68,10 @@ func main() {
 		lr          = flag.Float64("lr", 0.01, "learning rate")
 		seed        = flag.Int64("seed", 1, "random seed")
 		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
+		overlap     = flag.Bool("overlap", true, "overlap ghost communication with local computation in the epoch loop (false = sequential oracle)")
 		traceOut    = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
 		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
 		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
@@ -85,6 +89,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ecgraph-train: %v\n", err)
 		os.Exit(1)
 	}
+
+	stopProfiles, err := profile.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	d, err := datasets.Load(*dataset)
 	if err != nil {
@@ -160,6 +170,7 @@ func main() {
 			FPScheme: fpScheme, BPScheme: bpScheme,
 			FPBits: *fpBits, BPBits: *bpBits,
 			AdaptiveBits: *adaptive, Ttr: *ttr, DelayRounds: *delay,
+			Overlap: *overlap,
 		},
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,

@@ -26,6 +26,12 @@ var packedPool sync.Pool
 // pin its backing array for the life of the process.
 const maxPooledWords = 1 << 20
 
+// wordWork scales a packed word into tensor.ParallelRows' multiply-add work
+// units: packing or unpacking one word is a handful of shifts and float ops
+// per element, roughly eight MACs' worth, which keeps the parallel/inline
+// crossover where it was when the gate counted words directly.
+const wordWork = 8
+
 // getPacked returns a zeroed packed buffer of n words, reusing a pooled
 // backing array when one is large enough.
 func getPacked(n int) []uint64 {
@@ -113,7 +119,7 @@ func CompressWithRange(m *tensor.Matrix, bits int, lo, hi float32) *Quantized {
 	// builds its words locally and assigns them. The size gate counts words,
 	// not elements — a word is a couple of shifts of work, so small matrices
 	// pack faster serially than they can spawn goroutines.
-	tensor.ParallelRows(len(q.Packed), len(q.Packed), func(wlo, whi int) {
+	tensor.ParallelRows(len(q.Packed), len(q.Packed)*wordWork, func(wlo, whi int) {
 		for w := wlo; w < whi; w++ {
 			base := w * perWord
 			end := base + perWord
@@ -165,7 +171,7 @@ func (q *Quantized) Decompress() *tensor.Matrix {
 		table[id] = q.BucketValue(id)
 	}
 	bits := uint(q.Bits)
-	tensor.ParallelRows(len(q.Packed), len(q.Packed), func(wlo, whi int) {
+	tensor.ParallelRows(len(q.Packed), len(q.Packed)*wordWork, func(wlo, whi int) {
 		for w := wlo; w < whi; w++ {
 			word := q.Packed[w]
 			base := w * perWord

@@ -50,7 +50,7 @@ func CompressZeroCentered(m *tensor.Matrix, bits int) *Quantized {
 	// Word-parallel packing, same scheme as CompressWithRange: elements
 	// sharing a packed word stay on one worker, and the size gate counts
 	// words so small matrices stay serial.
-	tensor.ParallelRows(len(q.Packed), len(q.Packed), func(wlo, whi int) {
+	tensor.ParallelRows(len(q.Packed), len(q.Packed)*wordWork, func(wlo, whi int) {
 		for w := wlo; w < whi; w++ {
 			base := w * perWord
 			end := base + perWord

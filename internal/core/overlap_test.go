@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ecgraph/internal/graph"
+	"ecgraph/internal/supervise"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// TestOverlapMatchesSequentialUnderChaos is the overlap pipeline's
+// determinism e2e: the two-worker chaos scenario (seeded ghost-exchange
+// drops under the retrying transport, EC compression in both directions,
+// heartbeat supervision running) trained twice — sequential epoch path vs
+// the overlap pipeline — must produce bitwise-identical per-epoch losses,
+// final parameters and final logits, with the fault counters proving both
+// runs actually exercised the degraded path.
+//
+// This holds because overlap only moves the wire wait: issue resolves
+// skips and encodes on the epoch goroutine, collect decodes and mutates
+// the EC requester state on the epoch goroutine in the same order a
+// blocking fetch would, and chaos draws advance per (src,dst) pair — the
+// overlap pipeline reorders calls across pairs, never within one. The
+// detector windows are generous so supervision's goroutines race the
+// exchange (run this with -race) without ever flagging a loaded-but-alive
+// worker suspect, which would fork the two runs on scheduler timing.
+func TestOverlapMatchesSequentialUnderChaos(t *testing.T) {
+	const epochs = 12
+
+	run := func(overlap bool) *Result {
+		cfg := coraConfig(epochs)
+		cfg.Workers = 2
+		cfg.Servers = 1
+		cfg.Worker = worker.Options{
+			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
+			FPBits: 2, BPBits: 2, Ttr: 5,
+			Overlap: overlap,
+		}
+		// Supervision runs for real — heartbeat goroutines, the wrapped
+		// monitor handler, per-call health checks — but every way it can
+		// turn scheduler timing into a behaviour change is disabled: the
+		// phi-accrual thresholds (one late 5ms beat under -race load blows
+		// phi past the default suspect threshold and a suspect peer means a
+		// proactive degraded skip), the hard silence bounds, and the
+		// adaptive straggler deadline (clamped to seconds, which genuinely
+		// slow race-instrumented calls exceed). Both arms are healthy runs;
+		// any detector trip here would be a false positive forking them.
+		cfg.Supervise = &supervise.Options{
+			HeartbeatInterval: 5 * time.Millisecond,
+			SuspectAfter:      time.Hour,
+			DeadAfter:         2 * time.Hour,
+			PhiSuspect:        1e9,
+			PhiDead:           2e9,
+			StragglerMult:     -1,
+		}
+		stack := transport.NewStack(
+			transport.NewInProc(cfg.Workers+cfg.Servers),
+			transport.WithChaos(transport.ChaosConfig{
+				Seed: 11,
+				// High enough that with two attempts per call some exchanges
+				// exhaust their retries and take the degraded path: 30% drop
+				// makes a give-up a ~9% event per call, a handful over the run.
+				DropRate: 0.30,
+				Methods:  []string{worker.MethodGetH, worker.MethodGetG},
+			}),
+			transport.WithReliable(transport.ReliableConfig{
+				// Generous: a timeout firing on a race-instrumented, loaded
+				// box would consume chaos draws on scheduler timing and fork
+				// the two runs; only the seeded drops may drive retries.
+				Timeout:     5 * time.Second,
+				MaxAttempts: 2,
+				BaseBackoff: 50 * time.Microsecond,
+				Seed:        11,
+			}),
+			transport.WithConcurrency(4),
+		)
+		defer stack.Close()
+		cfg.Net = stack
+		res, err := Train(cfg)
+		if err != nil {
+			t.Fatalf("overlap=%v: %v", overlap, err)
+		}
+		if stack.Stats().Injected.Drops == 0 {
+			t.Fatalf("overlap=%v: chaos injected nothing", overlap)
+		}
+		return res
+	}
+
+	seq := run(false)
+	ovl := run(true)
+
+	var seqDegraded, ovlDegraded int
+	for e := 0; e < epochs; e++ {
+		seqDegraded += seq.Epochs[e].DegradedFetches
+		ovlDegraded += ovl.Epochs[e].DegradedFetches
+		if seq.Epochs[e].Loss != ovl.Epochs[e].Loss {
+			t.Errorf("epoch %d: sequential loss %v != overlap loss %v (diff %g)",
+				e, seq.Epochs[e].Loss, ovl.Epochs[e].Loss,
+				math.Abs(seq.Epochs[e].Loss-ovl.Epochs[e].Loss))
+		}
+	}
+	if seqDegraded == 0 {
+		t.Fatalf("no degraded fetches — the chaos path went unexercised")
+	}
+	if seqDegraded != ovlDegraded {
+		t.Errorf("degraded fetches diverged: sequential %d, overlap %d", seqDegraded, ovlDegraded)
+	}
+
+	if len(seq.FinalParams) != len(ovl.FinalParams) {
+		t.Fatalf("param lengths diverged: %d vs %d", len(seq.FinalParams), len(ovl.FinalParams))
+	}
+	for i := range seq.FinalParams {
+		if seq.FinalParams[i] != ovl.FinalParams[i] {
+			t.Fatalf("final params diverge at %d: %v vs %v", i, seq.FinalParams[i], ovl.FinalParams[i])
+		}
+	}
+
+	// Same params through the same forward pass must give the same logits;
+	// run it anyway so the promise is checked end to end, on the actual
+	// inference path a user of FinalModel would take.
+	cfg := coraConfig(epochs)
+	seqModel, err := FinalModel(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovlModel, err := FinalModel(cfg, ovl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.Dataset
+	adj := graph.Normalize(d.Graph)
+	seqActs := seqModel.Forward(adj, d.Features)
+	ovlActs := ovlModel.Forward(adj, d.Features)
+	seqLogits := seqActs.H[len(seqActs.H)-1]
+	ovlLogits := ovlActs.H[len(ovlActs.H)-1]
+	for i := range seqLogits.Data {
+		if seqLogits.Data[i] != ovlLogits.Data[i] {
+			t.Fatalf("final logits diverge at element %d: %v vs %v", i, seqLogits.Data[i], ovlLogits.Data[i])
+		}
+	}
+	t.Logf("12 epochs bitwise-identical: %d degraded fetches in both arms, final loss %v",
+		seqDegraded, seq.Epochs[epochs-1].Loss)
+}

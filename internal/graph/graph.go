@@ -9,9 +9,7 @@ package graph
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"ecgraph/internal/tensor"
 )
@@ -91,6 +89,49 @@ func FromEdges(n int, edges [][2]int32) *Graph {
 	return &Graph{N: n, RowPtr: rowPtr, ColIdx: colIdx, degrees: deg}
 }
 
+// FromDirectedEdges builds a directed CSR graph: edge (u,v) means row u
+// aggregates from column v, and nothing is added in the reverse direction.
+// Degree(v) is the out-degree (row length). The training datasets are
+// undirected, but asymmetric aggregation topologies are useful for
+// partition-shaped benchmarks where one side of a cut consumes remote
+// embeddings without producing any (its peers then own no ghost vertices
+// and never touch the wire).
+func FromDirectedEdges(n int, edges [][2]int32) *Graph {
+	type pair = [2]int32
+	seen := make(map[pair]struct{}, len(edges))
+	deg := make([]int32, n)
+	kept := make([]pair, 0, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v || u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			continue
+		}
+		k := pair{u, v}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		kept = append(kept, k)
+		deg[u]++
+	}
+	rowPtr := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + deg[i]
+	}
+	colIdx := make([]int32, rowPtr[n])
+	cursor := make([]int32, n)
+	copy(cursor, rowPtr[:n])
+	for _, e := range kept {
+		colIdx[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+	}
+	for v := 0; v < n; v++ {
+		lst := colIdx[rowPtr[v]:rowPtr[v+1]]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+	return &Graph{N: n, RowPtr: rowPtr, ColIdx: colIdx, degrees: deg}
+}
+
 // HasEdge reports whether the undirected edge {u,v} exists.
 func (g *Graph) HasEdge(u, v int) bool {
 	lst := g.Neighbors(u)
@@ -149,13 +190,28 @@ func Normalize(g *Graph) *NormAdjacency {
 }
 
 // SpMM computes Â·H (sparse × dense), parallelised over row bands.
-// H must have Â.N rows.
+// H must have Â.N rows. All rows are produced in order, so the kernel
+// iterates the CSR directly — no index slice is materialised (this runs
+// once per layer per epoch; the old allRows(N) indirection allocated an
+// N-length slice every call).
 func (a *NormAdjacency) SpMM(h *tensor.Matrix) *tensor.Matrix {
 	if h.Rows != a.N {
 		panic(fmt.Sprintf("graph: SpMM dimension mismatch: adjacency %d vs H rows %d", a.N, h.Rows))
 	}
 	out := tensor.New(a.N, h.Cols)
-	spmmRows(a, h, out, allRows(a.N))
+	cols := h.Cols
+	spmmBands(a.N, len(a.Val)*cols, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			orow := out.Data[v*cols : (v+1)*cols]
+			for p := a.RowPtr[v]; p < a.RowPtr[v+1]; p++ {
+				u, w := a.ColIdx[p], a.Val[p]
+				hrow := h.Data[int(u)*cols : (int(u)+1)*cols]
+				for j, x := range hrow {
+					orow[j] += w * x
+				}
+			}
+		}
+	})
 	return out
 }
 
@@ -164,21 +220,12 @@ func (a *NormAdjacency) SpMM(h *tensor.Matrix) *tensor.Matrix {
 // slice of the vertex set but have gathered the needed neighbour rows of H.
 func (a *NormAdjacency) SpMMRows(h *tensor.Matrix, rows []int32) *tensor.Matrix {
 	out := tensor.New(len(rows), h.Cols)
-	spmmRows(a, h, out, rows)
-	return out
-}
-
-func allRows(n int) []int32 {
-	rows := make([]int32, n)
-	for i := range rows {
-		rows[i] = int32(i)
+	cols := h.Cols
+	avgDeg := 1
+	if a.N > 0 {
+		avgDeg = max(1, len(a.Val)/a.N)
 	}
-	return rows
-}
-
-func spmmRows(a *NormAdjacency, h, out *tensor.Matrix, rows []int32) {
-	work := func(lo, hi int) {
-		cols := h.Cols
+	spmmBands(len(rows), len(rows)*avgDeg*cols, func(lo, hi int) {
 		for oi := lo; oi < hi; oi++ {
 			v := rows[oi]
 			orow := out.Data[oi*cols : (oi+1)*cols]
@@ -190,33 +237,18 @@ func spmmRows(a *NormAdjacency, h, out *tensor.Matrix, rows []int32) {
 				}
 			}
 		}
-	}
-	if len(rows)*h.Cols < 4096 {
-		work(0, len(rows))
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
-	}
-	chunk := (len(rows) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			work(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
+	return out
+}
+
+// spmmBands runs work over [0,nRows) with tensor.ParallelRows' banding
+// policy: inline for small products, row-disjoint bands otherwise, with
+// cooperative yields on a single-P runtime so in-flight ghost exchanges are
+// serviced mid-kernel. size approximates the total multiply-add work. Each
+// output row is written by exactly one band in CSR order, so the result is
+// independent of the split.
+func spmmBands(nRows, size int, work func(lo, hi int)) {
+	tensor.ParallelRows(nRows, size, work)
 }
 
 // Dense materialises Â as a dense matrix; only for tests on small graphs.

@@ -1,0 +1,48 @@
+// Package profile provides the CLIs' shared pprof plumbing: one call wires
+// the optional -cpuprofile/-memprofile flags into runtime/pprof so overlap
+// and kernel wins are attributable with `go tool pprof`.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for a heap profile
+// to be written to memPath by the returned stop function. Either path may
+// be empty to skip that profile. The caller must invoke stop exactly once
+// (typically via defer) before the process exits, or the CPU profile will
+// be truncated and the heap profile never written.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profile: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the heap profile shows live memory
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "profile: write heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

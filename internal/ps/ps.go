@@ -13,6 +13,7 @@ package ps
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"ecgraph/internal/nn"
@@ -80,9 +81,8 @@ type Server struct {
 	opts     ServerOptions
 	version  int // epochs applied
 	pending  []float32
-	nPending int
-	expected int          // workers per epoch
-	pushed   map[int]bool // workers that contributed to the current version
+	expected int               // workers per epoch
+	contribs map[int][]float32 // per-worker gradients for the current version
 }
 
 // NewServer creates a server owning the given initial parameter slice
@@ -103,7 +103,7 @@ func NewServerOpts(initial []float32, lr float64, expectedWorkers int, opts Serv
 		opts:     opts,
 		pending:  make([]float32, len(initial)),
 		expected: expectedWorkers,
-		pushed:   make(map[int]bool),
+		contribs: make(map[int][]float32),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -157,9 +157,15 @@ func (s *Server) pullWait(version int) []float32 {
 	return append([]float32(nil), s.params...)
 }
 
-// push accumulates one worker's gradients for the given version; the last
+// push records one worker's gradients for the given version; the last
 // distinct worker of the epoch triggers the Adam step (the servers "add
 // them up to obtain the global gradients, and update the weights").
+//
+// Contributions are held per worker and summed in ascending worker-id order
+// once the barrier completes, so the global gradient — and therefore the
+// whole training trajectory — is bit-for-bit independent of push arrival
+// order. Accumulating in arrival order would make every run depend on
+// goroutine scheduling, since float addition is not associative.
 //
 // Pushes are idempotent per (version, worker): a retry of a push the server
 // already applied — e.g. the response was lost, or a timed-out attempt
@@ -178,15 +184,24 @@ func (s *Server) push(version, worker int, grads []float32) error {
 	if version > s.version {
 		return fmt.Errorf("ps: push for version %d ahead of server version %d", version, s.version)
 	}
-	if s.pushed[worker] {
+	if _, dup := s.contribs[worker]; dup {
 		return nil // duplicate push within the current epoch
 	}
-	s.pushed[worker] = true
-	for i, g := range grads {
-		s.pending[i] += g
-	}
-	s.nPending++
-	if s.nPending == s.expected {
+	s.contribs[worker] = append([]float32(nil), grads...)
+	if len(s.contribs) == s.expected {
+		ids := make([]int, 0, len(s.contribs))
+		for id := range s.contribs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for i := range s.pending {
+			s.pending[i] = 0
+		}
+		for _, id := range ids {
+			for i, g := range s.contribs[id] {
+				s.pending[i] += g
+			}
+		}
 		if s.opts.MaxGradNorm > 0 {
 			clipNorm(s.pending, s.opts.MaxGradNorm)
 		}
@@ -194,11 +209,7 @@ func (s *Server) push(version, worker int, grads []float32) error {
 		if d := s.opts.LRDecay; d > 0 && d < 1 {
 			s.opt.LR *= d
 		}
-		for i := range s.pending {
-			s.pending[i] = 0
-		}
-		s.nPending = 0
-		s.pushed = make(map[int]bool)
+		s.contribs = make(map[int][]float32)
 		s.version++
 		s.cond.Broadcast()
 	}
@@ -249,11 +260,7 @@ func (s *Server) Restore(st State) error {
 	copy(s.params, st.Params)
 	s.opt.LR = st.LR
 	s.version = st.Version
-	s.nPending = 0
-	s.pushed = make(map[int]bool)
-	for i := range s.pending {
-		s.pending[i] = 0
-	}
+	s.contribs = make(map[int][]float32)
 	s.cond.Broadcast()
 	return nil
 }

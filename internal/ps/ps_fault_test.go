@@ -35,8 +35,8 @@ func TestPushIdempotentPerWorker(t *testing.T) {
 	if err := s.push(1, 0, []float32{100, 100}); err != nil {
 		t.Fatalf("duplicate push with different payload rejected: %v", err)
 	}
-	if got := s.pending[0]; got != 5 {
-		t.Fatalf("pending[0] = %v, want 5 (duplicate accumulated)", got)
+	if got := s.contribs[0][0]; got != 5 {
+		t.Fatalf("contribs[0][0] = %v, want 5 (duplicate overwrote the original)", got)
 	}
 }
 
@@ -126,8 +126,8 @@ func TestRestoreClearsPendingState(t *testing.T) {
 	if err := s.Restore(snap); err != nil {
 		t.Fatal(err)
 	}
-	if s.nPending != 0 || len(s.pushed) != 0 || s.pending[0] != 0 {
-		t.Fatalf("restore left pending state: nPending=%d pushed=%v pending=%v", s.nPending, s.pushed, s.pending)
+	if len(s.contribs) != 0 {
+		t.Fatalf("restore left pending state: contribs=%v", s.contribs)
 	}
 	// Worker 0 can contribute again after the restore.
 	if err := s.push(0, 0, []float32{1, 1}); err != nil {

@@ -25,6 +25,22 @@ func (m *Matrix) ReLUGrad() *Matrix {
 	return out
 }
 
+// ReLUBackwardInPlace masks m by the ReLU derivative at the pre-activation
+// z: m[i] is zeroed where z[i] ≤ 0 and kept where z[i] > 0. It fuses
+// m.HadamardInPlace(z.ReLUGrad()) without materialising the derivative
+// matrix — the backward hot path calls this once per layer per epoch.
+func (m *Matrix) ReLUBackwardInPlace(z *Matrix) *Matrix {
+	if m.Rows != z.Rows || m.Cols != z.Cols {
+		panic("tensor: ReLUBackwardInPlace shape mismatch")
+	}
+	for i, v := range z.Data {
+		if v <= 0 {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
 // SoftmaxRows returns the row-wise softmax of m, computed with the usual
 // max-subtraction trick and float64 accumulation for stability.
 func (m *Matrix) SoftmaxRows() *Matrix {

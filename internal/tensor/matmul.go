@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// parallelThreshold is the number of result elements below which MatMul runs
-// single-threaded; spawning goroutines for tiny products costs more than it
-// saves.
-const parallelThreshold = 64 * 64
+// parallelThreshold is the amount of scalar work (approximate multiply-adds)
+// below which a kernel runs single-threaded; spawning goroutines for tiny
+// products costs more than it saves.
+const parallelThreshold = 32 * 1024
 
 // MatMul returns m · n using a cache-blocked ikj kernel, parallelised over
 // row bands when the product is large enough.
@@ -18,29 +19,9 @@ func (m *Matrix) MatMul(n *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
 	}
 	out := New(m.Rows, n.Cols)
-	if m.Rows*n.Cols < parallelThreshold {
-		matmulRange(out, m, n, 0, m.Rows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.Rows {
-		workers = m.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (m.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, m.Rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRange(out, m, n, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelRows(m.Rows, m.Rows*m.Cols*n.Cols, func(lo, hi int) {
+		matmulRange(out, m, n, lo, hi)
+	})
 	return out
 }
 
@@ -85,7 +66,7 @@ func (m *Matrix) MatMulT(n *Matrix) *Matrix {
 			}
 		}
 	}
-	parallelRows(m.Rows, m.Rows*n.Rows, work)
+	parallelRows(m.Rows, m.Rows*m.Cols*n.Rows, work)
 	return out
 }
 
@@ -115,44 +96,78 @@ func (m *Matrix) TMatMul(n *Matrix) *Matrix {
 			}
 		}
 	}
-	parallelRows(m.Cols, m.Cols*n.Cols, work)
+	parallelRows(m.Cols, m.Rows*m.Cols*n.Cols, work)
 	return out
 }
 
+// bandWork bounds the scalar work one band covers (~tens of microseconds of
+// arithmetic). Banding serves two purposes: on a multi-P runtime the bands
+// are pulled off an atomic counter, so skewed row costs (power-law SpMM
+// rows) balance across workers instead of stalling on the unluckiest static
+// chunk; on a single-P runtime the kernel yields between bands, giving the
+// scheduler a point to service expired timers and run ready goroutines. The
+// comm/compute overlap pipeline depends on the latter — a ghost fetch
+// completing mid-matmul must have its transport goroutine scheduled
+// promptly, not after the whole kernel retires, or the wire time the
+// pipeline is meant to hide reappears as join latency. Bands are
+// row-disjoint, so any banding produces bit-identical results.
+const bandWork = 16 * 1024
+
 // ParallelRows splits [0,rows) across GOMAXPROCS workers when size (the
-// total number of elements the work touches) crosses the parallel
-// threshold; below it, work runs inline. work is called with disjoint
-// half-open chunks [lo, hi) and must not touch state outside its chunk.
-// Exported for sibling packages (compress) that parallelise per-element
-// loops with the same policy as the matmul kernels.
+// approximate scalar work the whole loop performs, in multiply-add
+// equivalents) crosses the parallel threshold; below it, work runs inline.
+// work is called with disjoint half-open chunks [lo, hi) and must not touch
+// state outside its chunk. Exported for sibling packages (compress, graph)
+// that parallelise per-element loops with the same policy as the matmul
+// kernels.
 func ParallelRows(rows, size int, work func(lo, hi int)) {
 	parallelRows(rows, size, work)
 }
 
 // parallelRows splits [0,rows) across GOMAXPROCS workers when size (the
-// number of output elements) crosses parallelThreshold.
+// approximate total scalar work) crosses parallelThreshold.
 func parallelRows(rows, size int, work func(lo, hi int)) {
 	if size < parallelThreshold || rows < 2 {
 		work(0, rows)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
+	band := rows
+	if perRow := (size + rows - 1) / rows; perRow > 0 {
+		band = (bandWork + perRow - 1) / perRow
 	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, rows)
-		if lo >= hi {
-			break
+	if band < 1 {
+		band = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 {
+		// Single P: run the bands inline, yielding between them so timer
+		// and I/O goroutines (in-flight ghost exchanges, stragglers timing
+		// out) are serviced mid-kernel instead of at the next park.
+		for lo := 0; lo < rows; lo += band {
+			work(lo, min(lo+band, rows))
+			runtime.Gosched()
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		return
+	}
+	nBands := (rows + band - 1) / band
+	if workers > nBands {
+		workers = nBands
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			work(lo, hi)
-		}(lo, hi)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBands {
+					return
+				}
+				lo := b * band
+				work(lo, min(lo+band, rows))
+			}
+		}()
 	}
 	wg.Wait()
 }

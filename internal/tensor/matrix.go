@@ -105,6 +105,24 @@ func (m *Matrix) AddInPlace(n *Matrix) *Matrix {
 	return m
 }
 
+// AddRowsAt adds src row k into m row idx[k] for every k and returns m: the
+// scatter inverse of a compact gather, used to fold a contribution computed
+// over a row subset (e.g. a partition's boundary rows) back into the full
+// matrix without touching the other rows.
+func (m *Matrix) AddRowsAt(idx []int32, src *Matrix) *Matrix {
+	if src.Rows != len(idx) || src.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowsAt src %dx%d with %d indices into %dx%d",
+			src.Rows, src.Cols, len(idx), m.Rows, m.Cols))
+	}
+	for k, i := range idx {
+		dst := m.Data[int(i)*m.Cols : (int(i)+1)*m.Cols]
+		for j, v := range src.Data[k*m.Cols : (k+1)*m.Cols] {
+			dst[j] += v
+		}
+	}
+	return m
+}
+
 // Sub returns m - n elementwise.
 func (m *Matrix) Sub(n *Matrix) *Matrix {
 	m.assertSameShape(n, "Sub")

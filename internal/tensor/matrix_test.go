@@ -281,6 +281,39 @@ func TestReLUAndGrad(t *testing.T) {
 	}
 }
 
+func TestReLUBackwardInPlace(t *testing.T) {
+	z := FromSlice(2, 3, []float32{-1, 0, 0.5, 2, -3, 1e-9})
+	g := FromSlice(2, 3, []float32{10, 20, 30, 40, 50, 60})
+	want := g.Clone().HadamardInPlace(z.ReLUGrad())
+	got := g.ReLUBackwardInPlace(z)
+	if got != g {
+		t.Fatal("ReLUBackwardInPlace must return its receiver")
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("fused ReLU backward %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestAddRowsAt(t *testing.T) {
+	m := FromSlice(4, 2, []float32{1, 1, 2, 2, 3, 3, 4, 4})
+	src := FromSlice(2, 2, []float32{10, 20, 30, 40})
+	got := m.AddRowsAt([]int32{0, 3}, src)
+	if got != m {
+		t.Fatal("AddRowsAt must return its receiver")
+	}
+	want := FromSlice(4, 2, []float32{11, 21, 2, 2, 3, 3, 34, 44})
+	if !m.Equal(want, 0) {
+		t.Fatalf("AddRowsAt result %v, want %v", m.Data, want.Data)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRowsAt with mismatched index count did not panic")
+		}
+	}()
+	m.AddRowsAt([]int32{0}, src)
+}
+
 func TestSoftmaxRows(t *testing.T) {
 	m := FromSlice(2, 3, []float32{1, 1, 1, 1000, 1000, 1000})
 	s := m.SoftmaxRows()

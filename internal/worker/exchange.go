@@ -2,6 +2,7 @@ package worker
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"ecgraph/internal/ec"
@@ -42,6 +43,100 @@ func (w *Worker) encodeGhostReq(l, t int, subset bool) *transport.Writer {
 	return req
 }
 
+// pendingGhost is one ghost exchange split into an issue half and a collect
+// half. The issue half resolves proactive skips and encodes the per-peer
+// calls (epoch goroutine — it touches EC prediction state and the
+// degraded-mode counters), then optionally fires the batch on a background
+// goroutine. The collect half joins the batch and runs decode/merge, again
+// on the epoch goroutine: only the transport call itself ever leaves it, so
+// the EC requester state, the degraded bookkeeping and the responder-side
+// compensation it triggers see the exact same single-threaded sequence as a
+// blocking fetch.
+type pendingGhost struct {
+	// deferred marks an exchange with nothing to put on the wire early —
+	// no ghosts at all, or the delayed-aggregation cache path — where
+	// collect performs the whole fetch inline instead.
+	deferred bool
+	served   map[int]*tensor.Matrix // peer → skip fallback rows
+	callIdx  map[int]int            // peer → index into calls/results
+	calls    []transport.Call
+	writers  []*transport.Writer
+	done     chan []transport.Result // nil when no calls go out
+}
+
+// fire launches the batch asynchronously. The goroutine only performs the
+// CallMulti and releases the pooled request writers; the buffered channel
+// means it never blocks on the collector, so error paths that join late (or
+// a test that joins much later) cannot leak it.
+//
+// The Gosched matters: the issuing goroutine is about to enter the overlap
+// window's tight matmul/SpMM loops, which have no scheduling points, and
+// Go's async preemption only fires after ~10ms — longer than a typical
+// window. Without the yield, on a box with few spare Ps the batch goroutine
+// (and the per-call fan-out under it) may not reach the wire until the
+// collector blocks, serialising the round-trip after the compute it was
+// supposed to hide. One yield lets the batch run to its first blocking
+// point — each spawned goroutine executes until it parks on I/O or a timer
+// — and costs microseconds when Ps are plentiful.
+func (p *pendingGhost) fire(w *Worker) {
+	if len(p.calls) == 0 {
+		return
+	}
+	p.done = make(chan []transport.Result, 1)
+	go func() {
+		results := w.cfg.Net.CallMulti(w.id, p.calls)
+		for _, wr := range p.writers {
+			wr.Release()
+		}
+		p.done <- results
+	}()
+	runtime.Gosched()
+}
+
+// callInline runs the batch synchronously on the caller's goroutine — the
+// sequential path's barrier semantics.
+func (p *pendingGhost) callInline(w *Worker) []transport.Result {
+	if len(p.calls) == 0 {
+		return nil
+	}
+	results := w.cfg.Net.CallMulti(w.id, p.calls)
+	for _, wr := range p.writers {
+		wr.Release()
+	}
+	return results
+}
+
+// join blocks until the fired batch completes and returns its results.
+func (p *pendingGhost) join() []transport.Result {
+	if p.done == nil {
+		return nil
+	}
+	return <-p.done
+}
+
+// buildGhostH resolves proactive skips and encodes the getH(l, t) call per
+// remaining peer. Epoch goroutine only: skip resolution reads EC trend
+// state and increments the degraded counters.
+func (w *Worker) buildGhostH(l, t int) *pendingGhost {
+	p := &pendingGhost{
+		served:  make(map[int]*tensor.Matrix, len(w.ghostOwner)),
+		callIdx: make(map[int]int, len(w.ghostOwner)),
+	}
+	for _, j := range w.ghostOwner {
+		if skipped := w.skipFallbackH(l, t, j); skipped != nil {
+			p.served[j] = skipped
+			continue
+		}
+		req := w.encodeGhostReq(l, t, false)
+		p.callIdx[j] = len(p.calls)
+		p.calls = append(p.calls, transport.Call{
+			Dst: j, Method: MethodGetH, Req: req.Bytes(), Timeout: w.peerTimeout(j),
+		})
+		p.writers = append(p.writers, req)
+	}
+	return p
+}
+
 // fetchGhostH gathers the ghost rows of H^l for iteration t from every
 // owning peer (Alg. 3 on the requesting end), decoding per the configured
 // forward scheme. With delayed aggregation only the epoch's refresh subset
@@ -55,7 +150,8 @@ func (w *Worker) encodeGhostReq(l, t int, subset bool) *transport.Writer {
 // index-aligned with the calls, rows land at fixed ghostBase offsets, and
 // the EC requester state plus degraded-mode bookkeeping stay
 // single-threaded, so the merged matrix is deterministic regardless of
-// completion order.
+// completion order. issueGhostH/collectGhostH split the same two phases
+// across an overlap window instead of running them back to back.
 //
 // When an exchange fails even after the transport's own retries, the worker
 // degrades gracefully instead of aborting the epoch: it serves the ReqEC-FP
@@ -67,41 +163,45 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
 	}
-	dim := w.cfg.Model.Dims[l]
 	if w.ghostHCache != nil {
-		return w.fetchGhostHDelayed(l, t, dim)
+		return w.fetchGhostHDelayed(l, t, w.cfg.Model.Dims[l])
 	}
-	out := tensor.New(len(w.ghostIDs), dim)
+	p := w.buildGhostH(l, t)
+	return w.mergeGhostH(p, p.callInline(w), l, t)
+}
 
-	served := make(map[int]*tensor.Matrix, len(w.ghostOwner))
-	callIdx := make(map[int]int, len(w.ghostOwner))
-	var calls []transport.Call
-	var writers []*transport.Writer
-	for _, j := range w.ghostOwner {
-		if skipped := w.skipFallbackH(l, t, j); skipped != nil {
-			served[j] = skipped
-			continue
-		}
-		req := w.encodeGhostReq(l, t, false)
-		callIdx[j] = len(calls)
-		calls = append(calls, transport.Call{
-			Dst: j, Method: MethodGetH, Req: req.Bytes(), Timeout: w.peerTimeout(j),
-		})
-		writers = append(writers, req)
+// issueGhostH starts the ghost H^l exchange without waiting for it: skips
+// are resolved and the remaining calls are fired on a background goroutine.
+// The caller must pair it with exactly one collectGhostH.
+func (w *Worker) issueGhostH(l, t int) *pendingGhost {
+	if len(w.ghostIDs) == 0 || w.ghostHCache != nil {
+		return &pendingGhost{deferred: true}
 	}
-	var results []transport.Result
-	if len(calls) > 0 {
-		results = w.cfg.Net.CallMulti(w.id, calls)
-		for _, wr := range writers {
-			wr.Release()
-		}
-	}
+	p := w.buildGhostH(l, t)
+	p.fire(w)
+	return p
+}
 
+// collectGhostH joins an issued getH batch and performs the decode/merge
+// phase — identical semantics (and identical EC/degraded state mutation
+// order) to the blocking fetchGhostH.
+func (w *Worker) collectGhostH(p *pendingGhost, l, t int) (*tensor.Matrix, error) {
+	if p.deferred {
+		return w.fetchGhostH(l, t)
+	}
+	return w.mergeGhostH(p, p.join(), l, t)
+}
+
+// mergeGhostH decodes the batch results in ghostOwner order and assembles
+// the ghost matrix, applying the degraded fallback per failed peer. Epoch
+// goroutine only.
+func (w *Worker) mergeGhostH(p *pendingGhost, results []transport.Result, l, t int) (*tensor.Matrix, error) {
+	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
 	for _, j := range w.ghostOwner {
-		rows := served[j]
+		rows := p.served[j]
 		if rows == nil {
 			var err error
-			if rows, err = w.decodeH(l, t, j, results[callIdx[j]]); err != nil {
+			if rows, err = w.decodeH(l, t, j, results[p.callIdx[j]]); err != nil {
 				if rows, err = w.degradedH(l, t, j, err); err != nil {
 					return nil, err
 				}
@@ -260,6 +360,31 @@ func (w *Worker) fetchGhostHDelayed(l, t, dim int) (*tensor.Matrix, error) {
 	return cache, nil
 }
 
+// buildGhostG resolves proactive skips and encodes the getG(l, t) call per
+// remaining peer. Epoch goroutine only.
+func (w *Worker) buildGhostG(l, t int) *pendingGhost {
+	p := &pendingGhost{
+		served:  make(map[int]*tensor.Matrix, len(w.ghostOwner)),
+		callIdx: make(map[int]int, len(w.ghostOwner)),
+	}
+	for _, j := range w.ghostOwner {
+		if skipped := w.skipFallbackG(l, t, j); skipped != nil {
+			p.served[j] = skipped
+			continue
+		}
+		req := transport.GetWriter(16)
+		req.Byte(byte(l))
+		req.Uint32(uint32(t))
+		req.Int32(int32(w.id))
+		p.callIdx[j] = len(p.calls)
+		p.calls = append(p.calls, transport.Call{
+			Dst: j, Method: MethodGetG, Req: req.Bytes(), Timeout: w.peerTimeout(j),
+		})
+		p.writers = append(p.writers, req)
+	}
+	return p
+}
+
 // fetchGhostG gathers ghost rows of G^l for iteration t (Alg. 5) with the
 // same two-phase batch-then-merge structure as fetchGhostH. Like the
 // forward exchange it degrades to the last-good cached gradient rows when a
@@ -268,40 +393,39 @@ func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
 	}
+	p := w.buildGhostG(l, t)
+	return w.mergeGhostG(p, p.callInline(w), l, t)
+}
+
+// issueGhostG starts the ghost G^l exchange without waiting for it; pair
+// with exactly one collectGhostG.
+func (w *Worker) issueGhostG(l, t int) *pendingGhost {
+	if len(w.ghostIDs) == 0 {
+		return &pendingGhost{deferred: true}
+	}
+	p := w.buildGhostG(l, t)
+	p.fire(w)
+	return p
+}
+
+// collectGhostG joins an issued getG batch and runs the decode/merge phase
+// with the blocking fetch's exact semantics.
+func (w *Worker) collectGhostG(p *pendingGhost, l, t int) (*tensor.Matrix, error) {
+	if p.deferred {
+		return w.fetchGhostG(l, t)
+	}
+	return w.mergeGhostG(p, p.join(), l, t)
+}
+
+// mergeGhostG decodes the batch results in ghostOwner order and assembles
+// the ghost gradient matrix. Epoch goroutine only.
+func (w *Worker) mergeGhostG(p *pendingGhost, results []transport.Result, l, t int) (*tensor.Matrix, error) {
 	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
-
-	served := make(map[int]*tensor.Matrix, len(w.ghostOwner))
-	callIdx := make(map[int]int, len(w.ghostOwner))
-	var calls []transport.Call
-	var writers []*transport.Writer
 	for _, j := range w.ghostOwner {
-		if skipped := w.skipFallbackG(l, t, j); skipped != nil {
-			served[j] = skipped
-			continue
-		}
-		req := transport.GetWriter(16)
-		req.Byte(byte(l))
-		req.Uint32(uint32(t))
-		req.Int32(int32(w.id))
-		callIdx[j] = len(calls)
-		calls = append(calls, transport.Call{
-			Dst: j, Method: MethodGetG, Req: req.Bytes(), Timeout: w.peerTimeout(j),
-		})
-		writers = append(writers, req)
-	}
-	var results []transport.Result
-	if len(calls) > 0 {
-		results = w.cfg.Net.CallMulti(w.id, calls)
-		for _, wr := range writers {
-			wr.Release()
-		}
-	}
-
-	for _, j := range w.ghostOwner {
-		rows := served[j]
+		rows := p.served[j]
 		if rows == nil {
 			var err error
-			if rows, err = w.decodeG(l, t, j, results[callIdx[j]]); err != nil {
+			if rows, err = w.decodeG(l, t, j, results[p.callIdx[j]]); err != nil {
 				bound := w.cfg.Opts.MaxStaleEpochs
 				last := w.gLastEpoch[l][j]
 				if bound < 0 || last < 0 || t-last > bound {

@@ -3,7 +3,6 @@ package worker
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +93,15 @@ type Options struct {
 	// the epoch fails hard. 0 selects the default (2); negative disables
 	// degraded mode so any exhausted fetch is fatal.
 	MaxStaleEpochs int
+	// Overlap pipelines each layer's ghost exchange with its
+	// ghost-independent compute: the per-peer batch is issued on a
+	// background goroutine while the owned-column SpMM and the owned
+	// matmuls run, and the ghost contribution is folded in at collect time.
+	// Decode, EC requester state and degraded-mode bookkeeping stay on the
+	// epoch goroutine, so the result is bit-for-bit identical to the
+	// sequential path — both run the same shared layer functions, differing
+	// only in when the wire work happens.
+	Overlap bool
 }
 
 // RPC method names served by Worker.Handler.
@@ -126,60 +134,6 @@ type Config struct {
 	Health PeerHealth
 }
 
-// localAdj is the worker's slice of Â: one row per owned vertex, columns in
-// compact local indexing (owned rows first, then ghosts in fetch order).
-type localAdj struct {
-	rowPtr []int32
-	colIdx []int32
-	val    []float32
-}
-
-// spmm computes rows of Â·Hcat for the worker's owned vertices, where Hcat
-// stacks owned rows above ghost rows in local indexing.
-func (a *localAdj) spmm(hcat *tensor.Matrix) *tensor.Matrix {
-	nRows := len(a.rowPtr) - 1
-	out := tensor.New(nRows, hcat.Cols)
-	work := func(lo, hi int) {
-		cols := hcat.Cols
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*cols : (i+1)*cols]
-			for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
-				c, w := a.colIdx[p], a.val[p]
-				hrow := hcat.Data[int(c)*cols : (int(c)+1)*cols]
-				for j, x := range hrow {
-					orow[j] += w * x
-				}
-			}
-		}
-	}
-	if nRows*hcat.Cols < 4096 {
-		work(0, nRows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nRows {
-		workers = nRows
-	}
-	chunk := (nRows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > nRows {
-			hi = nRows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			work(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
 // Worker is one EC-Graph computation node.
 type Worker struct {
 	cfg  Config
@@ -193,7 +147,11 @@ type Worker struct {
 	ghostOwner []int           // peer worker ids with non-empty Needs, ascending
 	ghostBase  map[int]int     // owner → first ghost slot of its group
 
-	adj *localAdj
+	// adj is the worker's slice of Â in compact local indexing (owned rows
+	// first, then ghosts in fetch order), with each CSR row stored
+	// owned-columns-first so the overlap pipeline's split SpMM reproduces
+	// the fused kernel bit-for-bit.
+	adj *graph.LocalCSR
 
 	x         *tensor.Matrix // owned feature rows
 	ghostX    *tensor.Matrix // cached ghost feature rows (first-hop cache)
@@ -306,7 +264,7 @@ func New(cfg Config) *Worker {
 		}
 		rowPtr[i+1] = int32(len(colIdx))
 	}
-	w.adj = &localAdj{rowPtr: rowPtr, colIdx: colIdx, val: val}
+	w.adj = graph.NewLocalCSR(nOwned, rowPtr, colIdx, val)
 
 	// Owned slices of features, labels and masks.
 	w.x = cfg.Feats.GatherRows(int32sToInts(w.owned))
@@ -563,6 +521,13 @@ type EpochReport struct {
 // RunEpoch executes iteration t: pull parameters at version t, forward
 // propagation (Alg. 1), loss gradient, backward propagation (Alg. 2), push
 // gradients. It blocks on peers as needed and returns the local report.
+//
+// With Opts.Overlap the per-layer ghost exchanges are pipelined against the
+// ghost-independent compute (issueGhost*/collectGhost*); without it every
+// exchange is a strict barrier. Both variants run the same forwardLayer/
+// backwardLayer bodies — the overlap path is bit-for-bit identical to the
+// sequential oracle because only the timing of the wire work differs, never
+// the arithmetic or its order.
 func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	w.degraded = 0
 	w.skips = 0
@@ -575,34 +540,13 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	L := model.NumLayers()
 
 	// ---- Forward propagation ----
-	h := w.x
-	for l := 1; l <= L; l++ {
-		var ghost *tensor.Matrix
-		if l == 1 {
-			ghost = w.ghostX
-		} else {
-			ghost, err = w.fetchGhostH(l-1, t)
-			if err != nil {
-				return EpochReport{}, err
-			}
-		}
-		hcat := stack(h, ghost)
-		ah := w.adj.spmm(hcat)
-		w.ah[l] = ah
-		layer := model.Layers[l-1]
-		z := ah.MatMul(layer.W)
-		if layer.WSelf != nil {
-			z.AddInPlace(h.MatMul(layer.WSelf))
-		}
-		z.AddRowVector(layer.Bias)
-		w.z[l] = z
-		if l < L {
-			h = z.ReLU()
-		} else {
-			h = z
-		}
-		w.ownH[l] = h
-		w.hStore.Put(l, t, h)
+	if w.cfg.Opts.Overlap {
+		err = w.forwardOverlap(t, L)
+	} else {
+		err = w.forwardSequential(t, L)
+	}
+	if err != nil {
+		return EpochReport{}, err
 	}
 
 	// ---- Loss gradient over owned training vertices ----
@@ -642,30 +586,13 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 
 	// ---- Backward propagation ----
 	grads := nn.NewGradients(model)
-	for l := L; l >= 1; l-- {
-		if l >= 2 {
-			w.gStore.Put(l, t, g)
-		}
-		layer := model.Layers[l-1]
-		grads.Layers[l-1].W = w.ah[l].TMatMul(g)
-		if layer.WSelf != nil {
-			grads.Layers[l-1].WSelf = w.ownH[l-1].TMatMul(g)
-		}
-		grads.Layers[l-1].Bias = g.ColSums()
-		if l == 1 {
-			break
-		}
-		ghostG, err := w.fetchGhostG(l, t)
-		if err != nil {
-			return EpochReport{}, err
-		}
-		gcat := stack(g, ghostG)
-		ag := w.adj.spmm(gcat)
-		gPrev := ag.MatMulT(layer.W)
-		if layer.WSelf != nil {
-			gPrev.AddInPlace(g.MatMulT(layer.WSelf))
-		}
-		g = gPrev.HadamardInPlace(w.z[l-1].ReLUGrad())
+	if w.cfg.Opts.Overlap {
+		err = w.backwardOverlap(t, L, g, grads)
+	} else {
+		err = w.backwardSequential(t, L, g, grads)
+	}
+	if err != nil {
+		return EpochReport{}, err
 	}
 
 	if err := w.cfg.PS.Push(t, grads.Flatten()); err != nil {
@@ -688,15 +615,177 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	return report, nil
 }
 
-// stack concatenates owned rows above ghost rows. Either part may be empty.
-func stack(owned, ghost *tensor.Matrix) *tensor.Matrix {
-	if ghost == nil || ghost.Rows == 0 {
-		return owned
+// forwardSequential runs the forward pass with every ghost exchange as a
+// strict barrier before the layer's compute — the oracle the overlap path
+// is asserted bit-for-bit against.
+func (w *Worker) forwardSequential(t, L int) error {
+	for l := 1; l <= L; l++ {
+		ghost := w.ghostX
+		if l > 1 {
+			var err error
+			if ghost, err = w.fetchGhostH(l-1, t); err != nil {
+				return err
+			}
+		}
+		if err := w.forwardLayer(l, t, func() (*tensor.Matrix, error) { return ghost, nil }); err != nil {
+			return err
+		}
 	}
-	out := tensor.New(owned.Rows+ghost.Rows, owned.Cols)
-	copy(out.Data[:len(owned.Data)], owned.Data)
-	copy(out.Data[len(owned.Data):], ghost.Data)
-	return out
+	return nil
+}
+
+// forwardOverlap pipelines the forward pass: as soon as layer l's owned
+// activations land in hStore (inside forwardLayer), the getH(l) batch for
+// layer l+1 is issued, so its wire time is hidden behind layer l+1's
+// ghost-independent compute. At steady state exactly one fetch is in
+// flight; collect joins it on the epoch goroutine before the ghost
+// contribution is folded in.
+func (w *Worker) forwardOverlap(t, L int) error {
+	var pend *pendingGhost
+	for l := 1; l <= L; l++ {
+		collect := func() (*tensor.Matrix, error) { return w.ghostX, nil }
+		if l > 1 {
+			p, prevLayer := pend, l-1
+			collect = func() (*tensor.Matrix, error) { return w.collectGhostH(p, prevLayer, t) }
+		}
+		if err := w.forwardLayer(l, t, collect); err != nil {
+			return err
+		}
+		if l < L {
+			pend = w.issueGhostH(l, t)
+		}
+	}
+	return nil
+}
+
+// forwardLayer computes layer l from the owned H^{l-1} rows, obtaining the
+// ghost rows of H^{l-1} from collect. Everything before the collect call is
+// ghost-independent — the owned-column SpMM, the owned H·W and H·WSelf
+// matmuls — and is exactly the work the overlap path performs while the
+// exchange is on the wire. Both epoch paths execute this same body, so
+// their float operation sequences are identical.
+func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) error {
+	layer := w.cfg.Model.Layers[l-1]
+	h := w.ownH[l-1]
+
+	ah := tensor.New(len(w.owned), h.Cols)
+	w.adj.SpMMOwnedInto(h, ah)
+	z := ah.MatMul(layer.W)
+	var zSelf *tensor.Matrix
+	if layer.WSelf != nil {
+		zSelf = h.MatMul(layer.WSelf)
+	}
+
+	ghost, err := collect()
+	if err != nil {
+		return err
+	}
+	if ghost != nil && ghost.Rows > 0 {
+		// Compact fold: the ghost aggregation only touches boundary rows,
+		// so its dense transform runs over len(BoundaryRows()) rows and is
+		// scattered back — the fold's cost tracks the partition's cut, not
+		// its size.
+		if ahGhost := w.adj.SpMMGhostCompact(ghost); ahGhost != nil {
+			z.AddRowsAt(w.adj.BoundaryRows(), ahGhost.MatMul(layer.W))
+			ah.AddRowsAt(w.adj.BoundaryRows(), ahGhost)
+		}
+	}
+	if zSelf != nil {
+		z.AddInPlace(zSelf)
+	}
+	z.AddRowVector(layer.Bias)
+
+	w.ah[l] = ah
+	w.z[l] = z
+	hOut := z
+	if l < w.cfg.Model.NumLayers() {
+		hOut = z.ReLU()
+	}
+	w.ownH[l] = hOut
+	w.hStore.Put(l, t, hOut)
+	return nil
+}
+
+// backwardSequential runs the backward pass with blocking getG barriers,
+// mirroring forwardSequential.
+func (w *Worker) backwardSequential(t, L int, g *tensor.Matrix, grads *nn.Gradients) error {
+	for l := L; l >= 1; l-- {
+		var ghost *tensor.Matrix
+		if l >= 2 {
+			w.gStore.Put(l, t, g)
+			var err error
+			if ghost, err = w.fetchGhostG(l, t); err != nil {
+				return err
+			}
+		}
+		gPrev, err := w.backwardLayer(l, g, grads, func() (*tensor.Matrix, error) { return ghost, nil })
+		if err != nil {
+			return err
+		}
+		g = gPrev
+	}
+	return nil
+}
+
+// backwardOverlap pipelines the backward pass: the getG(l) batch is issued
+// the moment G^l lands in gStore, so the wire time is hidden behind the
+// layer's weight-gradient matmuls and the owned-column aggregation of g.
+func (w *Worker) backwardOverlap(t, L int, g *tensor.Matrix, grads *nn.Gradients) error {
+	for l := L; l >= 1; l-- {
+		var pend *pendingGhost
+		if l >= 2 {
+			w.gStore.Put(l, t, g)
+			pend = w.issueGhostG(l, t)
+		}
+		p, layer := pend, l
+		gPrev, err := w.backwardLayer(l, g, grads, func() (*tensor.Matrix, error) {
+			return w.collectGhostG(p, layer, t)
+		})
+		if err != nil {
+			return err
+		}
+		g = gPrev
+	}
+	return nil
+}
+
+// backwardLayer computes layer l's weight gradients from g (the owned G^l
+// rows) and, for l ≥ 2, propagates g to layer l−1 using the ghost G^l rows
+// from collect. The weight-gradient matmuls and the owned-column
+// aggregation run before collect — the overlap window — and collect is
+// never invoked for l == 1.
+func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, collect func() (*tensor.Matrix, error)) (*tensor.Matrix, error) {
+	layer := w.cfg.Model.Layers[l-1]
+	grads.Layers[l-1].W = w.ah[l].TMatMul(g)
+	if layer.WSelf != nil {
+		grads.Layers[l-1].WSelf = w.ownH[l-1].TMatMul(g)
+	}
+	grads.Layers[l-1].Bias = g.ColSums()
+	if l == 1 {
+		return nil, nil
+	}
+
+	ag := tensor.New(len(w.owned), g.Cols)
+	w.adj.SpMMOwnedInto(g, ag)
+	gPrev := ag.MatMulT(layer.W)
+	var gSelf *tensor.Matrix
+	if layer.WSelf != nil {
+		gSelf = g.MatMulT(layer.WSelf)
+	}
+
+	ghost, err := collect()
+	if err != nil {
+		return nil, err
+	}
+	if ghost != nil && ghost.Rows > 0 {
+		if agGhost := w.adj.SpMMGhostCompact(ghost); agGhost != nil {
+			gPrev.AddRowsAt(w.adj.BoundaryRows(), agGhost.MatMulT(layer.W))
+		}
+	}
+	if gSelf != nil {
+		gPrev.AddInPlace(gSelf)
+	}
+	return gPrev.ReLUBackwardInPlace(w.z[l-1]), nil
 }
 
 // Logits returns the owned vertex ids and their final-layer logits from the

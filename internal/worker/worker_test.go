@@ -249,13 +249,32 @@ func TestLocalAdjSpMMMatchesGlobal(t *testing.T) {
 	for i, v := range order {
 		copy(hcat.Row(i), feats.Row(v))
 	}
-	got := w.adj.spmm(hcat)
+	got := w.adj.SpMM(hcat)
 	want := adj.SpMM(feats)
 	for i, v := range []int{0, 2, 4} {
 		for j := 0; j < 3; j++ {
 			if d := got.At(i, j) - want.At(v, j); d > 1e-6 || d < -1e-6 {
 				t.Fatalf("spmm row %d col %d: %v vs %v", i, j, got.At(i, j), want.At(v, j))
 			}
+		}
+	}
+
+	// The split kernels must agree with the fused local product exactly —
+	// the worker's overlap path folds the ghost half in at collect time.
+	owned := tensor.New(3, 3)
+	ghost := tensor.New(3, 3)
+	for i, v := range []int{0, 2, 4} {
+		copy(owned.Row(i), feats.Row(v))
+	}
+	for i, v := range []int{1, 3, 5} {
+		copy(ghost.Row(i), feats.Row(v))
+	}
+	split := tensor.New(3, 3)
+	w.adj.SpMMOwnedInto(owned, split)
+	w.adj.SpMMGhostInto(ghost, split)
+	for i := range split.Data {
+		if split.Data[i] != got.Data[i] {
+			t.Fatalf("split kernel element %d: %v != fused %v", i, split.Data[i], got.Data[i])
 		}
 	}
 }
