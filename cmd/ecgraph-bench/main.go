@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ecgraph/internal/experiments"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/profile"
 )
 
@@ -25,6 +26,8 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while experiments run (host defaults to 127.0.0.1)")
 	)
 	flag.Parse()
 
@@ -45,6 +48,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: ecgraph-bench -exp <id>|all [-quick]   (use -list to enumerate)")
 		os.Exit(2)
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecgraph-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics and pprof on http://%s\n", srv.Addr())
+	}
+
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experiments.Names()
@@ -52,7 +67,7 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("### experiment %s — %s\n\n", name, experiments.Describe(name))
 		start := time.Now()
-		if err := experiments.Run(name, experiments.Options{Quick: *quick, Out: os.Stdout}); err != nil {
+		if err := experiments.Run(name, experiments.Options{Quick: *quick, Out: os.Stdout, Metrics: reg}); err != nil {
 			fmt.Fprintf(os.Stderr, "ecgraph-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -24,6 +24,7 @@ import (
 	"ecgraph/internal/datasets"
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/supervise"
 	"ecgraph/internal/transport"
 	"ecgraph/internal/worker"
@@ -71,6 +72,10 @@ func main() {
 		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
 		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
 		autoRollback = flag.Bool("auto-rollback", false, "roll back and replay when recovery fails or a numeric guard trips (implies -supervise)")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090 or :0; host defaults to 127.0.0.1)")
+		eventsOut     = flag.String("events-out", "", "append one JSONL epoch event per worker per epoch to this file")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after training so scrapers can collect the final state")
 	)
 	flag.Parse()
 
@@ -82,6 +87,24 @@ func main() {
 	d, err := datasets.Load(*dataset)
 	if err != nil {
 		fail(err)
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics and pprof on http://%s\n", srv.Addr())
+	}
+	var events *obs.EventLog
+	if *eventsOut != "" {
+		events, err = obs.OpenEventLog(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		defer events.Close()
 	}
 	tcp, err := transport.NewTCPCluster(*workers + *servers)
 	if err != nil {
@@ -103,6 +126,8 @@ func main() {
 			Seed:        *chaosSeed,
 		}),
 		transport.WithConcurrency(*concurrency),
+		transport.WithNodes(*workers + *servers),
+		transport.WithMetrics(reg),
 	}
 	chaotic := *chaosDrop > 0 || *chaosErr > 0 || *chaosSpike > 0 || *chaosCrash != ""
 	if chaotic {
@@ -139,6 +164,8 @@ func main() {
 		LR:      0.01,
 		Seed:    1,
 		Net:     stack,
+		Metrics: reg,
+		Events:  events,
 		Worker: worker.Options{
 			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
 			FPBits: *bits, BPBits: *bits, Ttr: 10,
@@ -183,5 +210,9 @@ func main() {
 		for _, ev := range res.SuperviseEvents {
 			fmt.Printf("  %s\n", ev)
 		}
+	}
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Printf("metrics endpoint lingering %v for final scrapes\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"ecgraph/internal/gatdist"
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/partition"
 	"ecgraph/internal/profile"
 	"ecgraph/internal/supervise"
@@ -69,9 +70,11 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
 		overlap     = flag.Bool("overlap", true, "overlap ghost communication with local computation in the epoch loop (false = sequential oracle)")
-		traceOut    = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file")
+		traceOut    = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file (with -metrics-addr or alone; includes live sub-epoch worker spans)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090 or :0; host defaults to 127.0.0.1)")
+		eventsOut   = flag.String("events-out", "", "append one JSONL epoch event per worker per epoch to this file")
 
 		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
 		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
@@ -146,12 +149,46 @@ func main() {
 		return
 	}
 
+	// Telemetry: one registry feeds the transport metering, the engine's
+	// gauges and the /metrics endpoint; nil (no -metrics-addr) disables all
+	// of it without touching the training path.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics and pprof on http://%s\n", srv.Addr())
+	}
+	var events *obs.EventLog
+	if *eventsOut != "" {
+		events, err = obs.OpenEventLog(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		defer events.Close()
+	}
+	// A requested trace records live sub-epoch worker spans during the run
+	// (pid 1+worker), then gets the simulated cluster timeline merged onto
+	// pid 0 after training. The tracer is only built alongside the recorder:
+	// a nil *Recorder inside the SpanSink interface would defeat NewTracer's
+	// nil check.
+	var rec *trace.Recorder
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		tracer = obs.NewTracer(rec)
+	}
+
 	// The transport is always built through NewStack: here just the in-proc
 	// base plus bounded CallMulti fan-out, so ghost exchanges overlap peers'
 	// compression work.
 	stack := transport.NewStack(
 		transport.NewInProc(*workers+*servers),
 		transport.WithConcurrency(*concurrency),
+		transport.WithMetrics(reg),
 	)
 	defer stack.Close()
 
@@ -175,6 +212,9 @@ func main() {
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		ResumeFrom:      *resume,
+		Metrics:         reg,
+		Events:          events,
+		Tracer:          tracer,
 	}
 	if *supervised || *autoRollback {
 		cfg.Supervise = &supervise.Options{
@@ -228,8 +268,9 @@ func main() {
 		metrics.FormatSeconds(res.ConvergenceSimSeconds), metrics.FormatSeconds(res.TotalSimSeconds))
 	fmt.Printf("partition %s: edge cut %d (%.1f%% of edges), remote degree %.2f\n",
 		p.Name(), res.PartitionStats.EdgeCut, res.PartitionStats.CutFraction*100, res.PartitionStats.RemoteDegree)
-	if *traceOut != "" {
-		if err := trace.FromResult(res).WriteFile(*traceOut); err != nil {
+	if rec != nil {
+		trace.FromResultInto(rec, res)
+		if err := rec.WriteFile(*traceOut); err != nil {
 			fail(err)
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)

@@ -103,6 +103,7 @@ func CompressWithRange(m *tensor.Matrix, bits int, lo, hi float32) *Quantized {
 		Rows: m.Rows, Cols: m.Cols, Bits: bits, Lo: lo, Hi: hi,
 		Packed: getPacked((n + perWord - 1) / perWord),
 	}
+	recordCompress(q)
 	if n == 0 {
 		return q
 	}

@@ -38,6 +38,7 @@ func CompressZeroCentered(m *tensor.Matrix, bits int) *Quantized {
 		ZeroCentered: true,
 		Packed:       getPacked((n + perWord - 1) / perWord),
 	}
+	recordCompress(q)
 	if n == 0 || mx == 0 {
 		// All zeros: every id is 0, which decodes to level −mx = 0.
 		return q

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"time"
 
+	"ecgraph/internal/compress"
 	"ecgraph/internal/datasets"
 	"ecgraph/internal/graph"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/partition"
 	"ecgraph/internal/ps"
 	"ecgraph/internal/supervise"
@@ -94,6 +96,22 @@ type Config struct {
 	// and numeric guards (NaN/Inf, loss spikes) can roll the run back to the
 	// latest checkpoint and replay. The zero Options value picks defaults.
 	Supervise *supervise.Options
+
+	// Metrics, when non-nil, makes the run export live telemetry on the
+	// registry: engine gauges (epoch/loss/accuracy/timing), codec and EC
+	// counters, per-worker overlap utilisation, and — with Supervise —
+	// detector phi/status. Serve it with obs.Serve. Telemetry never
+	// perturbs training (atomic counters only), so instrumented and bare
+	// runs stay bitwise identical.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives one JSONL EpochEvent per worker per
+	// completed epoch (see EpochEventSchema).
+	Events *obs.EventLog
+	// Tracer, when non-nil, records live sub-epoch spans (owned SpMM,
+	// ghost collect, fold, per-phase issue marks) from every worker on
+	// pid 1+workerID, leaving pid 0 free for the simulated timeline that
+	// trace.FromResult lays out.
+	Tracer *obs.Tracer
 }
 
 // costFor returns the cost model governing a node's link.
@@ -294,6 +312,14 @@ func Train(c Config) (*Result, error) {
 		net.Register(serverNodes[0], sup.WrapHandler(servers[0].Handler()))
 	}
 
+	// Telemetry: codec totals, detector state and engine gauges all hang
+	// off the same registry (every Register* is a no-op on nil).
+	compress.RegisterMetrics(cfg.Metrics)
+	if sup != nil {
+		sup.RegisterMetrics(cfg.Metrics)
+	}
+	eng := newEngineObs(cfg.Metrics)
+
 	// Resume: overwrite every server's range with the checkpointed state.
 	// The checkpoint stores full-length vectors, so the re-split works even
 	// under a different server count than the run that wrote it.
@@ -334,6 +360,8 @@ func Train(c Config) (*Result, error) {
 			PS:             ps.NewClient(net, i, serverNodes, ranges),
 			Opts:           cfg.Worker,
 			Health:         health,
+			Metrics:        cfg.Metrics,
+			Tracer:         cfg.Tracer,
 		})
 	}
 	// Worker handlers are wrapped too so worker nodes answer sup.ping —
@@ -385,6 +413,12 @@ func Train(c Config) (*Result, error) {
 	}
 	valIdx, testIdx := d.ValIdx(), d.TestIdx()
 	reports := make([]worker.EpochReport, cfg.Workers)
+	// Per-worker-node transport snapshot and simulated link time of the
+	// epoch in flight, captured by runEpoch before the counters are reset
+	// so the event log can attribute traffic per worker.
+	workerStats := make([]transport.Stats, cfg.Workers)
+	workerComm := make([]float64, cfg.Workers)
+	supCursor := 0 // supervision log entries already emitted to the event log
 	lastVersion := startEpoch
 
 	// runEpoch executes one training iteration and assembles its stats.
@@ -416,8 +450,13 @@ func Train(c Config) (*Result, error) {
 			if s.Total() > maxBytes {
 				maxBytes = s.Total()
 			}
-			if c := cfg.costFor(node).TimeFor(s); c > maxComm {
+			c := cfg.costFor(node).TimeFor(s)
+			if c > maxComm {
 				maxComm = c
+			}
+			if node < cfg.Workers {
+				workerStats[node] = s
+				workerComm[node] = c
 			}
 		}
 		stats.Bytes = totalBytes
@@ -466,6 +505,14 @@ func Train(c Config) (*Result, error) {
 			t = next
 			continue
 		}
+		eng.observeEpoch(t, &stats)
+		var supSince []supervise.Event
+		if sup != nil && cfg.Events != nil {
+			evs := sup.Events()
+			supSince = evs[supCursor:]
+			supCursor = len(evs)
+		}
+		emitEpochEvents(cfg.Events, t, &stats, reports, workerStats, workerComm, supSince)
 		net.ResetStats()
 		if sv != nil {
 			sv.noteSuccess(t)

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"ecgraph/internal/obs"
+	"ecgraph/internal/supervise"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// engineObs holds the engine-level telemetry handles. With no registry all
+// handles are nil and every update is a no-op (the obs package guarantees
+// nil-receiver safety), so an uninstrumented run pays nothing.
+//
+// Families:
+//
+//	ecgraph_train_epoch                  last completed epoch index
+//	ecgraph_train_loss                   global training loss, last epoch
+//	ecgraph_train_val_accuracy           validation accuracy, last epoch
+//	ecgraph_train_test_accuracy          test accuracy, last epoch
+//	ecgraph_train_compute_seconds_total  per-machine compute (virtual-clock model)
+//	ecgraph_train_comm_seconds_total     simulated network time (slowest node)
+//	ecgraph_train_sim_seconds_total      compute + comm
+//	ecgraph_train_bytes_total            bytes moved across all links
+//	ecgraph_train_messages_total         round trips initiated
+type engineObs struct {
+	epoch   *obs.Gauge
+	loss    *obs.Gauge
+	valAcc  *obs.Gauge
+	testAcc *obs.Gauge
+
+	compute  *obs.Counter
+	comm     *obs.Counter
+	sim      *obs.Counter
+	bytes    *obs.Counter
+	messages *obs.Counter
+}
+
+func newEngineObs(reg *obs.Registry) engineObs {
+	return engineObs{
+		epoch:   reg.Gauge("ecgraph_train_epoch", "Last completed epoch index."),
+		loss:    reg.Gauge("ecgraph_train_loss", "Global training loss at the last completed epoch."),
+		valAcc:  reg.Gauge("ecgraph_train_val_accuracy", "Validation accuracy at the last completed epoch."),
+		testAcc: reg.Gauge("ecgraph_train_test_accuracy", "Test accuracy at the last completed epoch."),
+		compute: reg.Counter("ecgraph_train_compute_seconds_total",
+			"Per-machine compute seconds summed over completed epochs (virtual-clock model)."),
+		comm: reg.Counter("ecgraph_train_comm_seconds_total",
+			"Simulated network seconds (slowest node) summed over completed epochs."),
+		sim: reg.Counter("ecgraph_train_sim_seconds_total",
+			"Simulated epoch seconds (compute + comm) summed over completed epochs."),
+		bytes: reg.Counter("ecgraph_train_bytes_total",
+			"Bytes moved across all links, summed over completed epochs."),
+		messages: reg.Counter("ecgraph_train_messages_total",
+			"Round trips initiated, summed over completed epochs."),
+	}
+}
+
+// observeEpoch folds one successful epoch into the engine metrics.
+func (o *engineObs) observeEpoch(t int, s *EpochStats) {
+	o.epoch.Set(float64(t))
+	o.loss.Set(s.Loss)
+	o.valAcc.Set(s.ValAcc)
+	o.testAcc.Set(s.TestAcc)
+	o.compute.Add(s.ComputeSeconds)
+	o.comm.Add(s.CommSeconds)
+	o.sim.Add(s.SimSeconds)
+	o.bytes.Add(float64(s.Bytes))
+	o.messages.Add(float64(s.Messages))
+}
+
+// EpochEventSchema identifies the epoch event-log record layout; bump the
+// suffix on breaking changes so downstream parsers can dispatch.
+const EpochEventSchema = "ecgraph.epoch.v1"
+
+// EpochEvent is one line of the JSONL epoch event log (Config.Events): the
+// state of one worker after one successfully completed epoch. An epoch with
+// W workers emits W records, all sharing the epoch's global fields (loss,
+// accuracies, epoch index) alongside that worker's own traffic, EC-codec
+// and overlap bookkeeping. Cluster-level supervision events land on the
+// worker-0 record of the epoch they were observed in.
+type EpochEvent struct {
+	Schema string `json:"schema"`
+	Epoch  int    `json:"epoch"`
+	Worker int    `json:"worker"`
+
+	// Training signal (global, identical across the epoch's records).
+	Loss    float64 `json:"loss"`
+	ValAcc  float64 `json:"val_acc"`
+	TestAcc float64 `json:"test_acc"`
+	// LocalLossSum is this worker's unnormalised share of the loss.
+	LocalLossSum float64 `json:"local_loss_sum"`
+
+	// Virtual-clock timing: compute is global (wall / workers), comm is
+	// this worker's own simulated link time.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+
+	// This worker node's transport counters for the epoch.
+	BytesOut int64 `json:"bytes_out"`
+	BytesIn  int64 `json:"bytes_in"`
+	Messages int64 `json:"messages"`
+	Retries  int64 `json:"retries"`
+	Timeouts int64 `json:"timeouts"`
+	GiveUps  int64 `json:"giveups"`
+
+	// EC pipeline: codec width actually served per embedding layer (index
+	// 0 ↔ layer 1), the ReqEC-FP predictor's win rate, and — under
+	// ResEC-BP — the residual L2 norm per layer.
+	LayerFPBits       []int     `json:"layer_fp_bits"`
+	PredictedFraction float64   `json:"predicted_fraction"`
+	ResidualL2        []float64 `json:"residual_l2,omitempty"`
+
+	// Fault tolerance and comm/compute overlap.
+	DegradedFetches    int     `json:"degraded_fetches"`
+	StragglerSkips     int     `json:"straggler_skips"`
+	CommWireSeconds    float64 `json:"comm_wire_seconds"`
+	CommBlockedSeconds float64 `json:"comm_blocked_seconds"`
+	OverlapUtilization float64 `json:"overlap_utilization"`
+
+	// Supervision events observed since the previous record was emitted
+	// (rendered strings; worker-0 record only).
+	Supervise []string `json:"supervise,omitempty"`
+}
+
+// emitEpochEvents writes one EpochEvent per worker for a completed epoch.
+// wstats and wcomm are the per-worker-node transport snapshot and simulated
+// link time captured before the counters were reset; supEvents are the
+// supervision log entries new since the last emission.
+func emitEpochEvents(log *obs.EventLog, t int, stats *EpochStats,
+	reports []worker.EpochReport, wstats []transport.Stats, wcomm []float64,
+	supEvents []supervise.Event) {
+	if log == nil {
+		return
+	}
+	var supStrs []string
+	for _, ev := range supEvents {
+		supStrs = append(supStrs, ev.String())
+	}
+	for i := range reports {
+		var ns transport.Stats
+		var comm float64
+		if i < len(wstats) {
+			ns, comm = wstats[i], wcomm[i]
+		}
+		ev := EpochEvent{
+			Schema:  EpochEventSchema,
+			Epoch:   t,
+			Worker:  i,
+			Loss:    stats.Loss,
+			ValAcc:  stats.ValAcc,
+			TestAcc: stats.TestAcc,
+
+			LocalLossSum:   reports[i].LocalLossSum,
+			ComputeSeconds: stats.ComputeSeconds,
+			CommSeconds:    comm,
+
+			BytesOut: ns.BytesOut,
+			BytesIn:  ns.BytesIn,
+			Messages: ns.Messages,
+			Retries:  ns.Retries,
+			Timeouts: ns.Timeouts,
+			GiveUps:  ns.GiveUps,
+
+			LayerFPBits:       reports[i].LayerFPBits,
+			PredictedFraction: reports[i].PredictedFraction,
+			ResidualL2:        reports[i].ResidualL2,
+
+			DegradedFetches:    reports[i].DegradedFetches,
+			StragglerSkips:     reports[i].StragglerSkips,
+			CommWireSeconds:    reports[i].CommWireSeconds,
+			CommBlockedSeconds: reports[i].CommBlockedSeconds,
+			OverlapUtilization: reports[i].OverlapUtilization,
+		}
+		if i == 0 {
+			ev.Supervise = supStrs
+		}
+		log.Emit(ev)
+	}
+}

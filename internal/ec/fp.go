@@ -42,6 +42,7 @@ const (
 type RespondStats struct {
 	Rows      int // vertices covered by this response
 	Predicted int // vertices for which the predicted approximation won
+	Average   int // vertices for which the running average won
 	Exact     bool
 }
 
@@ -192,8 +193,11 @@ func (r *ForwardResponder) respondSelected(h *tensor.Matrix, t, bits int) ([]byt
 			best = SelAverage
 		}
 		sel[v] = byte(best)
-		if best == SelPredicted {
+		switch best {
+		case SelPredicted:
 			stats.Predicted++
+		case SelAverage:
+			stats.Average++
 		}
 	}
 
@@ -233,9 +237,13 @@ func (r *ForwardResponder) respondMatrixWise(h, cps, pdt, avg *tensor.Matrix, q 
 	w.Byte(2) // matrix-wise selector flag
 	w.Byte(byte(best))
 	w.Uint32(uint32(h.Rows))
-	if best == SelPredicted {
+	switch best {
+	case SelPredicted:
 		stats.Predicted = h.Rows
-	} else {
+	case SelAverage:
+		stats.Average = h.Rows
+	}
+	if best != SelPredicted {
 		w.Quantized(q)
 	}
 	return w.Bytes(), stats

@@ -17,6 +17,7 @@ import (
 	"ecgraph/internal/core"
 	"ecgraph/internal/datasets"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/worker"
 )
 
@@ -25,7 +26,19 @@ type Options struct {
 	// Quick shrinks datasets, epochs and arms for CI and testing.B use.
 	Quick bool
 	Out   io.Writer
+	// Metrics, when non-nil, is threaded into every engine run the
+	// experiment performs, so a long bench session can be watched live on
+	// /metrics and profiled via /debug/pprof.
+	Metrics *obs.Registry
 }
+
+// activeMetrics is the registry of the experiment run in flight; the many
+// call sites build engine configs through engineConfig, which injects it.
+// Experiments run one at a time per Run call, and concurrent Run calls
+// share at worst each other's registry, which is benign (obs handles are
+// concurrency-safe), so a package var beats threading the option through
+// every figure's helper chain.
+var activeMetrics *obs.Registry
 
 type runner struct {
 	describe string
@@ -76,6 +89,8 @@ func Run(name string, opt Options) error {
 	if opt.Out == nil {
 		return fmt.Errorf("experiments: Options.Out is required")
 	}
+	activeMetrics = opt.Metrics
+	defer func() { activeMetrics = nil }()
 	return r.run(opt)
 }
 
@@ -176,6 +191,7 @@ func engineConfig(dataset string, layers int, opts worker.Options, quick bool) c
 		LR:      0.01,
 		Seed:    1,
 		Worker:  opts,
+		Metrics: activeMetrics,
 	}
 }
 

@@ -73,13 +73,13 @@ func runFig8(opt Options) error {
 			if a.label == "Non-cp" {
 				base = conv
 			}
-			table.AddRowStrings(
+			table.AddRow(
 				a.label,
-				fmt.Sprintf("%d", a.bits),
-				fmt.Sprintf("%d", convEpoch),
-				metrics.FormatSeconds(conv),
-				fmt.Sprintf("%.2fx", metrics.Speedup(base, conv)),
-				fmt.Sprintf("%.4f", res.TestAccuracy),
+				a.bits,
+				convEpoch,
+				metrics.Seconds(conv),
+				metrics.Ratio(metrics.Speedup(base, conv)),
+				metrics.Fixed(res.TestAccuracy, 4),
 			)
 		}
 		table.Render(opt.Out)

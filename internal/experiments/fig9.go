@@ -69,12 +69,12 @@ func runFig9(opt Options) error {
 		fmt.Sprintf("Fig. 9 — %s: end-to-end time (%d layers, %d workers)", ds, layers, clusterWorkers(opt.Quick)),
 		"system", "preprocess", "train-to-converge", "total", "conv epoch", "EC-Graph speedup")
 	for _, r := range rows {
-		table.AddRowStrings(r.name,
-			metrics.FormatSeconds(r.pre),
-			metrics.FormatSeconds(r.train),
-			metrics.FormatSeconds(r.total),
-			fmt.Sprintf("%d", r.convergedEpoch),
-			fmt.Sprintf("%.2fx", metrics.Speedup(r.total, ecTotal)))
+		table.AddRow(r.name,
+			metrics.Seconds(r.pre),
+			metrics.Seconds(r.train),
+			metrics.Seconds(r.total),
+			r.convergedEpoch,
+			metrics.Ratio(metrics.Speedup(r.total, ecTotal)))
 	}
 	table.Render(opt.Out)
 	return nil

@@ -21,11 +21,39 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, headers: headers}
 }
 
-// AddRow appends a row; values are formatted with %v unless already strings.
+// Cell is a table value with an explicit rendering, overriding AddRow's
+// type-based defaults. Build one with Seconds, Bytes, Ratio, Percent or
+// Fixed — a bare float64 handed to AddRow is assumed to be a duration,
+// which silently mislabels ratios and fractions as seconds.
+type Cell struct{ s string }
+
+// String returns the cell's rendered form.
+func (c Cell) String() string { return c.s }
+
+// Seconds renders a duration in seconds (FormatSeconds).
+func Seconds(v float64) Cell { return Cell{FormatSeconds(v)} }
+
+// Bytes renders a byte count in binary units (FormatBytes).
+func Bytes(v float64) Cell { return Cell{FormatBytes(v)} }
+
+// Ratio renders a speedup/slowdown multiplier as "1.87x".
+func Ratio(v float64) Cell { return Cell{fmt.Sprintf("%.2fx", v)} }
+
+// Percent renders a fraction in [0,1] as "42.0%".
+func Percent(v float64) Cell { return Cell{fmt.Sprintf("%.1f%%", v*100)} }
+
+// Fixed renders a float with the given number of decimals.
+func Fixed(v float64, decimals int) Cell { return Cell{fmt.Sprintf("%.*f", decimals, v)} }
+
+// AddRow appends a row. Cells carry their own formatting; strings pass
+// through; a bare float64 is treated as a duration in seconds (use a Cell
+// constructor for anything else); remaining types format with %v.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
+		case Cell:
+			row[i] = v.String()
 		case string:
 			row[i] = v
 		case float64:

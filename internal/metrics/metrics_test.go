@@ -27,6 +27,24 @@ func TestTableRenderAligned(t *testing.T) {
 	}
 }
 
+func TestCellOverridesFloatFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := NewTable("", "speedup", "frac", "acc", "bytes", "time")
+	tbl.AddRow(Ratio(1.8732), Percent(0.421), Fixed(0.81234, 4), Bytes(2048), Seconds(0.25))
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"1.87x", "42.1%", "0.8123", "2.00KiB", "250.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The historical trap: a bare float64 renders as a duration. Cells are
+	// the override; the default stays for genuinely-seconds columns.
+	if s := FormatSeconds(1.87); !strings.Contains(s, "s") {
+		t.Fatalf("float default changed: %q", s)
+	}
+}
+
 func TestTableNoTitle(t *testing.T) {
 	var buf bytes.Buffer
 	tbl := NewTable("", "a")

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// EventLog is an append-only JSONL sink: one JSON object per line, each
+// record self-describing via its own schema field. A nil *EventLog
+// swallows writes, so call sites emit unconditionally.
+type EventLog struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	closer io.Closer
+}
+
+// NewEventLog writes records to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// OpenEventLog creates (truncating) the file at path and logs to it.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := NewEventLog(f)
+	l.closer = f
+	return l, nil
+}
+
+// Emit appends one record as a single JSON line.
+func (l *EventLog) Emit(record interface{}) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(record)
+}
+
+// Close closes the underlying file, if Emit writes to one.
+func (l *EventLog) Close() error {
+	if l == nil || l.closer == nil {
+		return nil
+	}
+	return l.closer.Close()
+}

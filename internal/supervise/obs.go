@@ -1,0 +1,47 @@
+package supervise
+
+import (
+	"strconv"
+
+	"ecgraph/internal/obs"
+)
+
+// RegisterMetrics exports the supervisor's live state on reg:
+//
+//	ecgraph_supervise_phi{worker}          phi-accrual suspicion level
+//	ecgraph_supervise_status{worker}       0 healthy, 1 suspect, 2 dead
+//	ecgraph_supervise_transitions_total{worker,to}  detector state changes
+//	ecgraph_supervise_events_total{kind}   supervision log entries by kind
+//
+// Phi and status are read from the detector at scrape time (no hot-path
+// bookkeeping); the counters are incremented where Status and Record
+// already serialise. Call before Start; a nil registry is a no-op.
+func (s *Supervisor) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.eventsTotal = reg.CounterVec("ecgraph_supervise_events_total",
+		"Supervision log entries by kind.", "kind")
+	s.transitions = reg.CounterVec("ecgraph_supervise_transitions_total",
+		"Detector state transitions first observed per worker.", "worker", "to")
+	phi := reg.GaugeVec("ecgraph_supervise_phi",
+		"Phi-accrual suspicion level per worker.", "worker")
+	status := reg.GaugeVec("ecgraph_supervise_status",
+		"Detector verdict per worker: 0 healthy, 1 suspect, 2 dead.", "worker")
+	type handles struct{ phi, status *obs.Gauge }
+	hs := make([]handles, len(s.workers))
+	for i, w := range s.workers {
+		n := strconv.Itoa(w)
+		hs[i] = handles{phi: phi.With(n), status: status.With(n)}
+	}
+	workers := append([]int(nil), s.workers...)
+	det := s.det
+	reg.OnScrapeNamed("supervise", func() {
+		for i, w := range workers {
+			hs[i].phi.Set(det.Phi(w))
+			// The raw detector verdict, not Supervisor.Status: a scrape must
+			// observe state, never append to the supervision log.
+			hs[i].status.Set(float64(det.Status(w)))
+		}
+	})
+}

@@ -2,9 +2,11 @@ package supervise
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"ecgraph/internal/obs"
 	"ecgraph/internal/transport"
 )
 
@@ -207,6 +209,10 @@ type Supervisor struct {
 	emitStop chan struct{}
 	emitWG   sync.WaitGroup
 	beats    []countingBeat
+
+	// Telemetry counters, set by RegisterMetrics; nil handles no-op.
+	eventsTotal *obs.CounterVec
+	transitions *obs.CounterVec
 }
 
 type countingBeat struct{ sent, failed int64 }
@@ -338,6 +344,7 @@ func (s *Supervisor) Status(worker int) Status {
 	if (!seen && st != StatusHealthy) || (seen && st != prev) {
 		s.reported[worker] = st
 		s.mu.Unlock()
+		s.transitions.With(strconv.Itoa(worker), st.String()).Inc()
 		switch st {
 		case StatusSuspect:
 			s.Record(EventSuspect, worker, -1, fmt.Sprintf("phi %.1f", s.det.Phi(worker)))
@@ -390,6 +397,7 @@ func (s *Supervisor) AwaitReachable(node int, budget time.Duration) bool {
 
 // Record appends an event to the supervision log.
 func (s *Supervisor) Record(kind EventKind, worker, epoch int, detail string) {
+	s.eventsTotal.With(kind.String()).Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.events = append(s.events, Event{Kind: kind, Worker: worker, Epoch: epoch, Detail: detail, Wall: time.Now()})

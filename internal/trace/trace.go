@@ -116,6 +116,15 @@ func (r *Recorder) WriteFile(path string) error {
 // mark at the start of its epoch.
 func FromResult(res *core.Result) *Recorder {
 	r := NewRecorder()
+	FromResultInto(r, res)
+	return r
+}
+
+// FromResultInto lays the simulated timeline out on an existing recorder —
+// typically one that already holds live sub-epoch spans recorded through
+// obs.Tracer. The simulated events stay on pid 0 while live worker spans
+// use pid 1+workerID, so the two clocks never share a track.
+func FromResultInto(r *Recorder, res *core.Result) {
 	cursor := 0.0
 	if res.PreprocessSeconds > 0 {
 		r.Add("preprocess", "setup", 0, 0, cursor, res.PreprocessSeconds)
@@ -152,5 +161,4 @@ func FromResult(res *core.Result) *Recorder {
 		}
 		r.AddInstant("supervise: "+ev.Kind.String(), "supervise", 0, 0, ts, args)
 	}
-	return r
 }

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ecgraph/internal/obs"
+)
+
+// The metered stack must count per-pair calls, bytes and latency above
+// the retry layer (one observation per logical call, retries included)
+// and export the node window + chaos totals via the scrape hook.
+func TestStackWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	stack := NewStack(NewInProc(3),
+		WithChaos(ChaosConfig{Seed: 5, ErrorRate: 0.4, Methods: []string{"boom"}}),
+		WithReliable(ReliableConfig{MaxAttempts: 3, Seed: 5}),
+		WithMetrics(reg),
+		WithConcurrency(2),
+	)
+	defer stack.Close()
+	if got := stack.String(); !strings.Contains(got, "metered(reliable(chaos(base)))") {
+		t.Fatalf("metered layer in wrong position: %s", got)
+	}
+
+	stack.Register(1, func(method string, req []byte) ([]byte, error) {
+		if method == "boom" {
+			return nil, errors.New("boom")
+		}
+		return append([]byte("re:"), req...), nil
+	})
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		if _, err := stack.Call(0, 1, "echo", []byte("abcd")); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	stack.CallMulti(0, []Call{{Dst: 1, Method: "echo", Req: []byte("x")}, {Dst: 1, Method: "echo", Req: []byte("y")}})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ecgraph_transport_calls_total{src="0",dst="1",outcome="ok"} 22`,
+		`ecgraph_transport_pair_bytes_total{src="0",dst="1",direction="out"} 82`,
+		`ecgraph_transport_call_seconds_count{src="0",dst="1"} 22`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// One logical call that fails all its retries is one error observation,
+	// however many chaos-injected faults its attempts absorb on the way.
+	for i := 0; i < 3; i++ {
+		if _, err := stack.Call(0, 1, "boom", nil); err == nil {
+			t.Fatal("boom call should fail")
+		}
+	}
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	if !strings.Contains(out, `ecgraph_transport_calls_total{src="0",dst="1",outcome="error"} 3`) {
+		t.Errorf("failed calls not counted once each:\n%s", out)
+	}
+	// The chaos error rate guarantees injected errors over 23 calls with
+	// 3 attempts each; the scrape hook must have exported a nonzero total.
+	if stack.Stats().Injected.Errors > 0 && !strings.Contains(out, `ecgraph_chaos_injected{kind="error"}`) {
+		t.Errorf("chaos totals not exported:\n%s", out)
+	}
+	if !strings.Contains(out, `ecgraph_transport_node_messages{node="0"}`) {
+		t.Errorf("node window gauges not exported:\n%s", out)
+	}
+}
+
+// WithMetrics(nil) must leave the stack unchanged.
+func TestStackWithNilMetrics(t *testing.T) {
+	stack := NewStack(NewInProc(2), WithMetrics(nil))
+	defer stack.Close()
+	if strings.Contains(stack.String(), "metered") {
+		t.Fatalf("nil registry must not insert a metered layer: %s", stack.String())
+	}
+}

@@ -2,7 +2,10 @@ package transport
 
 import (
 	"fmt"
+	"strconv"
 	"time"
+
+	"ecgraph/internal/obs"
 )
 
 // StackOption configures NewStack.
@@ -13,6 +16,7 @@ type stackSpec struct {
 	reliable    *ReliableConfig
 	nodes       int
 	concurrency int
+	metrics     *obs.Registry
 }
 
 // WithChaos layers seeded fault injection directly above the base
@@ -41,6 +45,15 @@ func WithNodes(n int) StackOption {
 	return func(s *stackSpec) { s.nodes = n }
 }
 
+// WithMetrics layers per-peer-pair call metering (Metered) between the
+// fan-out and retry layers and registers scrape hooks that export the
+// stack's per-node traffic window and the chaos layer's injected-fault
+// totals on reg. A nil registry is a no-op, so callers can pass their
+// possibly-unset registry through unconditionally.
+func WithMetrics(reg *obs.Registry) StackOption {
+	return func(s *stackSpec) { s.metrics = reg }
+}
+
 // StackStats merges every layer's counters into one snapshot.
 type StackStats struct {
 	Nodes    []Stats    // per-node traffic + retry counters (from the top of the stack)
@@ -61,6 +74,7 @@ type Stack struct {
 	base     Network
 	chaos    *Chaos
 	reliable *Reliable
+	metered  *Metered
 	nodes    int
 }
 
@@ -92,11 +106,80 @@ func NewStack(base Network, opts ...StackOption) *Stack {
 		s.reliable = NewReliable(nw, s.nodes, *spec.reliable)
 		nw = s.reliable
 	}
+	if spec.metrics != nil {
+		if s.nodes == 0 {
+			panic("transport: NewStack(WithMetrics) needs a node count — base has no NumNodes; add WithNodes(n)")
+		}
+		s.metered = NewMetered(nw, s.nodes, spec.metrics)
+		nw = s.metered
+	}
 	if spec.concurrency > 1 {
 		nw = NewConcurrent(nw, spec.concurrency)
 	}
 	s.top = nw
+	if spec.metrics != nil {
+		s.registerScrape(spec.metrics)
+	}
 	return s
+}
+
+// registerScrape exports, at scrape time, the counters the stack already
+// keeps for the engine: the per-node traffic/retry window (reset by
+// ResetStats each epoch, hence gauges) and the chaos layer's monotonic
+// injected-fault totals. Named registration means a rebuilt stack on the
+// same registry replaces, rather than shadows, the previous one.
+func (s *Stack) registerScrape(reg *obs.Registry) {
+	nodeBytes := reg.GaugeVec("ecgraph_transport_node_bytes",
+		"Per-node payload bytes in the current epoch window (reset each epoch).",
+		"node", "direction")
+	nodeMsgs := reg.GaugeVec("ecgraph_transport_node_messages",
+		"Per-node round trips in the current epoch window.", "node")
+	nodeRetries := reg.GaugeVec("ecgraph_transport_node_retries",
+		"Retry-layer retries in the current epoch window.", "node")
+	nodeTimeouts := reg.GaugeVec("ecgraph_transport_node_timeouts",
+		"Retry-layer timeouts in the current epoch window.", "node")
+	nodeGiveUps := reg.GaugeVec("ecgraph_transport_node_giveups",
+		"Calls that exhausted retries in the current epoch window.", "node")
+	injected := reg.GaugeVec("ecgraph_chaos_injected",
+		"Injected faults since process start by kind (monotonic; zero without WithChaos).",
+		"kind")
+	type nodeHandles struct {
+		out, in, msgs, retries, timeouts, giveups *obs.Gauge
+	}
+	handles := make([]nodeHandles, s.nodes)
+	for i := range handles {
+		n := strconv.Itoa(i)
+		handles[i] = nodeHandles{
+			out:      nodeBytes.With(n, "out"),
+			in:       nodeBytes.With(n, "in"),
+			msgs:     nodeMsgs.With(n),
+			retries:  nodeRetries.With(n),
+			timeouts: nodeTimeouts.With(n),
+			giveups:  nodeGiveUps.With(n),
+		}
+	}
+	drops := injected.With("drop")
+	errs := injected.With("error")
+	spikes := injected.With("latency_spike")
+	crashed := injected.With("crashed_call")
+	reg.OnScrapeNamed("transport-stack", func() {
+		for i := range handles {
+			st := s.top.NodeStats(i)
+			handles[i].out.Set(float64(st.BytesOut))
+			handles[i].in.Set(float64(st.BytesIn))
+			handles[i].msgs.Set(float64(st.Messages))
+			handles[i].retries.Set(float64(st.Retries))
+			handles[i].timeouts.Set(float64(st.Timeouts))
+			handles[i].giveups.Set(float64(st.GiveUps))
+		}
+		if s.chaos != nil {
+			inj := s.chaos.Injected()
+			drops.Set(float64(inj.Drops))
+			errs.Set(float64(inj.Errors))
+			spikes.Set(float64(inj.Spikes))
+			crashed.Set(float64(inj.CrashedCalls))
+		}
+	})
 }
 
 // Register implements Network.
@@ -164,6 +247,9 @@ func (s *Stack) String() string {
 	}
 	if s.reliable != nil {
 		desc = "reliable(" + desc + ")"
+	}
+	if s.metered != nil {
+		desc = "metered(" + desc + ")"
 	}
 	if c, ok := s.top.(*Concurrent); ok {
 		desc = fmt.Sprintf("concurrent[%d](%s)", c.limit, desc)

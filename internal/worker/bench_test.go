@@ -6,12 +6,15 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"ecgraph/internal/datasets"
 	"ecgraph/internal/graph"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/ps"
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
@@ -46,10 +49,12 @@ func (n *delayNet) CallMulti(src int, calls []transport.Call) []transport.Result
 // scheme; the zero value is filled in by benchCluster with the historical
 // defaults (GCN, one 16-unit hidden layer, EC 2-bit exchange).
 type benchModel struct {
-	kind   nn.Kind
-	hidden []int // hidden-layer widths; input/output dims come from the dataset
-	opts   Options
-	assign []int // vertex → worker; nil means round-robin v % nWorkers
+	kind    nn.Kind
+	hidden  []int // hidden-layer widths; input/output dims come from the dataset
+	opts    Options
+	assign  []int // vertex → worker; nil means round-robin v % nWorkers
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 }
 
 var defaultBenchModel = benchModel{
@@ -92,6 +97,8 @@ func benchCluster(tb testing.TB, d *datasets.Dataset, net transport.Network, nWo
 			Model:          nn.NewModel(m.kind, dims, 1),
 			PS:             ps.NewClient(net, i, []int{nWorkers}, ranges),
 			Opts:           m.opts,
+			Metrics:        m.metrics,
+			Tracer:         m.tracer,
 		})
 		net.Register(i, workers[i].Handler())
 	}
@@ -117,6 +124,56 @@ func benchCluster(tb testing.TB, d *datasets.Dataset, net transport.Network, nWo
 		}
 	}
 	return time.Since(start)
+}
+
+// writeBenchJSON records an acceptance benchmark's outcome at the repo root
+// in the one schema every BENCH_*.json shares, so the CI gate reads
+// gate.ok uniformly instead of special-casing files:
+//
+//	{
+//	  "benchmark":    <name>,
+//	  "workers":      <cluster size>,
+//	  "epochs":       <epoch loop length>,
+//	  "latency_ms":   <injected per-call RTT>,
+//	  "baseline_ms":  <un-optimised arm, min over rounds>,
+//	  "optimized_ms": <optimised arm, min over rounds>,
+//	  "speedup":      baseline/optimized,
+//	  "gate":         {"min_speedup": <floor>, "ok": <bool>},
+//	  "calibration":  {<benchmark-specific scenario knobs>}
+//	}
+//
+// It returns the speedup so the caller can assert the floor itself (a gate
+// failure should fail the test run, not just the JSON).
+func writeBenchJSON(tb testing.TB, file, benchmark string, workers, epochs int,
+	baseline, optimized time.Duration, minSpeedup float64, calibration map[string]any) float64 {
+	tb.Helper()
+	speedup := float64(baseline) / float64(optimized)
+	if calibration == nil {
+		calibration = map[string]any{}
+	}
+	out := map[string]any{
+		"benchmark":    benchmark,
+		"workers":      workers,
+		"epochs":       epochs,
+		"latency_ms":   float64(benchLatency) / float64(time.Millisecond),
+		"baseline_ms":  float64(baseline) / float64(time.Millisecond),
+		"optimized_ms": float64(optimized) / float64(time.Millisecond),
+		"speedup":      speedup,
+		"gate": map[string]any{
+			"min_speedup": minSpeedup,
+			"ok":          speedup >= minSpeedup,
+		},
+		"calibration": calibration,
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join("..", "..", file)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return speedup
 }
 
 // TestExchangeConcurrencySpeedup is the PR's acceptance benchmark: 8 in-proc
@@ -146,27 +203,9 @@ func TestExchangeConcurrencySpeedup(t *testing.T) {
 	)
 	concTime := benchCluster(t, d, concNet, nWorkers, epochs, defaultBenchModel)
 
-	speedup := float64(seqTime) / float64(concTime)
+	speedup := writeBenchJSON(t, "BENCH_exchange.json", "ghost-exchange",
+		nWorkers, epochs, seqTime, concTime, 1.5, nil)
 	t.Logf("sequential %v, concurrent %v, speedup %.2fx", seqTime, concTime, speedup)
-
-	out := map[string]any{
-		"benchmark":      "ghost-exchange",
-		"workers":        nWorkers,
-		"epochs":         epochs,
-		"latency_ms":     float64(benchLatency) / float64(time.Millisecond),
-		"sequential_ms":  float64(seqTime) / float64(time.Millisecond),
-		"concurrent_ms":  float64(concTime) / float64(time.Millisecond),
-		"speedup":        speedup,
-		"min_speedup_ok": speedup >= 1.5,
-	}
-	blob, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join("..", "..", "BENCH_exchange.json")
-	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
 
 	if speedup < 1.5 {
 		t.Fatalf("concurrent exchange speedup %.2fx below the 1.5x floor (sequential %v, concurrent %v)",
@@ -340,36 +379,107 @@ func TestOverlapSpeedup(t *testing.T) {
 		}
 	}
 
-	speedup := float64(seqTime) / float64(ovlTime)
+	speedup := writeBenchJSON(t, "BENCH_overlap.json", "overlap-pipeline",
+		nWorkers, epochs, seqTime, ovlTime, 1.4, map[string]any{
+			"hub_vertices": n0,
+			"ring_degree":  ringDeg,
+			"hidden_dim":   dim,
+			"layers":       8,
+			"rounds":       rounds,
+		})
 	t.Logf("sequential %v, overlap %v, speedup %.2fx", seqTime, ovlTime, speedup)
-
-	out := map[string]any{
-		"benchmark":      "overlap-pipeline",
-		"workers":        nWorkers,
-		"epochs":         epochs,
-		"latency_ms":     float64(benchLatency) / float64(time.Millisecond),
-		"hub_vertices":   n0,
-		"ring_degree":    ringDeg,
-		"hidden_dim":     dim,
-		"layers":         8,
-		"rounds":         rounds,
-		"sequential_ms":  float64(seqTime) / float64(time.Millisecond),
-		"overlap_ms":     float64(ovlTime) / float64(time.Millisecond),
-		"speedup":        speedup,
-		"min_speedup_ok": speedup >= 1.4,
-	}
-	blob, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join("..", "..", "BENCH_overlap.json")
-	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
 
 	if speedup < 1.4 {
 		t.Fatalf("overlap speedup %.2fx below the 1.4x floor (sequential %v, overlap %v)",
 			speedup, seqTime, ovlTime)
+	}
+}
+
+// countingSink is a trace sink that only counts, so the overhead test pays
+// the instrumentation cost without buffering thousands of span structs.
+type countingSink struct{ spans atomic.Int64 }
+
+func (s *countingSink) Add(name, category string, pid, tid int, startSec, durSec float64) {
+	s.spans.Add(1)
+}
+
+func (s *countingSink) AddInstant(name, category string, pid, tid int, tsSec float64, args map[string]interface{}) {
+	s.spans.Add(1)
+}
+
+// TestTelemetryOverhead is the observability layer's acceptance benchmark:
+// the fully instrumented path (metrics registry + transport metering + live
+// span tracer) must cost under 2% of epoch time against the bare path on
+// the same cluster. Both arms run interleaved and keep their minimum, the
+// same noise discipline as TestOverlapSpeedup: instrumentation only ever
+// adds time, so the minima converge to the true costs while a noisy stretch
+// of the host cannot land on one arm alone.
+func TestTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing benchmark skipped under -race: instrumented atomics dominate under the detector")
+	}
+	const (
+		nWorkers  = 4
+		epochs    = 10
+		maxRounds = 12
+	)
+	d := datasets.MustLoad("cora")
+
+	run := func(m benchModel, reg *obs.Registry) time.Duration {
+		net := transport.NewStack(
+			transport.NewInProc(nWorkers+1),
+			transport.WithConcurrency(nWorkers),
+			transport.WithMetrics(reg), // nil registry = unmetered stack
+		)
+		return benchCluster(t, d, net, nWorkers, epochs, m)
+	}
+
+	bare := defaultBenchModel
+	instr := defaultBenchModel
+	sink := &countingSink{}
+	reg := obs.NewRegistry()
+	instr.metrics = reg
+	instr.tracer = obs.NewTracer(sink)
+
+	// Interleaved minima, same discipline as TestOverlapSpeedup: noise only
+	// ever adds time, so each arm's minimum converges to its true cost. If
+	// the ratio still exceeds the budget after four rounds keep sampling —
+	// more rounds only sharpen the minima, so a noisy stretch of the host
+	// cannot fail the gate but a genuine instrumentation regression does.
+	bareTime := time.Duration(1 << 62)
+	instrTime := time.Duration(1 << 62)
+	for round := 0; round < maxRounds; round++ {
+		if round >= 4 && float64(instrTime) <= 1.02*float64(bareTime) {
+			break
+		}
+		if dt := run(bare, nil); dt < bareTime {
+			bareTime = dt
+		}
+		if dt := run(instr, reg); dt < instrTime {
+			instrTime = dt
+		}
+	}
+	if sink.spans.Load() == 0 {
+		t.Fatal("instrumented arm recorded no spans — tracer not wired")
+	}
+	var scrape strings.Builder
+	if err := reg.WritePrometheus(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape.String(), "ecgraph_transport_calls_total") ||
+		!strings.Contains(scrape.String(), "ecgraph_ec_fp_bits") {
+		t.Fatal("instrumented arm exported no transport/EC families — registry not wired")
+	}
+
+	ratio := float64(instrTime) / float64(bareTime)
+	t.Logf("bare %v, instrumented %v (%d spans), overhead %.2f%%",
+		bareTime, instrTime, sink.spans.Load(), (ratio-1)*100)
+	if ratio > 1.02 {
+		t.Fatalf("telemetry overhead %.2f%% above the 2%% budget (bare %v, instrumented %v)",
+			(ratio-1)*100, bareTime, instrTime)
 	}
 }
 

@@ -62,6 +62,11 @@ type pendingGhost struct {
 	calls    []transport.Call
 	writers  []*transport.Writer
 	done     chan []transport.Result // nil when no calls go out
+	// Overlap-window accounting: firedAt is stamped before the batch
+	// goroutine launches, doneAt by that goroutine just before the channel
+	// send (so the collector's read after the receive is race-free).
+	firedAt time.Time
+	doneAt  time.Time
 }
 
 // fire launches the batch asynchronously. The goroutine only performs the
@@ -83,11 +88,13 @@ func (p *pendingGhost) fire(w *Worker) {
 		return
 	}
 	p.done = make(chan []transport.Result, 1)
+	p.firedAt = time.Now()
 	go func() {
 		results := w.cfg.Net.CallMulti(w.id, p.calls)
 		for _, wr := range p.writers {
 			wr.Release()
 		}
+		p.doneAt = time.Now()
 		p.done <- results
 	}()
 	runtime.Gosched()
@@ -167,7 +174,7 @@ func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
 		return w.fetchGhostHDelayed(l, t, w.cfg.Model.Dims[l])
 	}
 	p := w.buildGhostH(l, t)
-	return w.mergeGhostH(p, p.callInline(w), l, t)
+	return w.mergeGhostH(p, w.callInlineTimed(p), l, t)
 }
 
 // issueGhostH starts the ghost H^l exchange without waiting for it: skips
@@ -179,6 +186,9 @@ func (w *Worker) issueGhostH(l, t int) *pendingGhost {
 	}
 	p := w.buildGhostH(l, t)
 	p.fire(w)
+	if tr := w.obs.tracer; tr != nil {
+		tr.Instant(fmt.Sprintf("issue getH l%d", l), "comm", 1+w.id, 0, time.Now(), nil)
+	}
 	return p
 }
 
@@ -189,7 +199,7 @@ func (w *Worker) collectGhostH(p *pendingGhost, l, t int) (*tensor.Matrix, error
 	if p.deferred {
 		return w.fetchGhostH(l, t)
 	}
-	return w.mergeGhostH(p, p.join(), l, t)
+	return w.mergeGhostH(p, w.joinTimed(p), l, t)
 }
 
 // mergeGhostH decodes the batch results in ghostOwner order and assembles
@@ -394,7 +404,7 @@ func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
 		return nil, nil
 	}
 	p := w.buildGhostG(l, t)
-	return w.mergeGhostG(p, p.callInline(w), l, t)
+	return w.mergeGhostG(p, w.callInlineTimed(p), l, t)
 }
 
 // issueGhostG starts the ghost G^l exchange without waiting for it; pair
@@ -405,6 +415,9 @@ func (w *Worker) issueGhostG(l, t int) *pendingGhost {
 	}
 	p := w.buildGhostG(l, t)
 	p.fire(w)
+	if tr := w.obs.tracer; tr != nil {
+		tr.Instant(fmt.Sprintf("issue getG l%d", l), "comm", 1+w.id, 0, time.Now(), nil)
+	}
 	return p
 }
 
@@ -414,7 +427,7 @@ func (w *Worker) collectGhostG(p *pendingGhost, l, t int) (*tensor.Matrix, error
 	if p.deferred {
 		return w.fetchGhostG(l, t)
 	}
-	return w.mergeGhostG(p, p.join(), l, t)
+	return w.mergeGhostG(p, w.joinTimed(p), l, t)
 }
 
 // mergeGhostG decodes the batch results in ghostOwner order and assembles
@@ -524,19 +537,27 @@ func (w *Worker) Handler() transport.Handler {
 			m := h.GatherRows(int32sToInts(sel))
 			switch w.cfg.Opts.FPScheme {
 			case SchemeRaw:
+				w.storeLayerBits(l, 32)
 				return ec.RespondRaw(m), nil
 			case SchemeCompress:
-				return ec.RespondCompressOnly(m, w.FPBits()), nil
+				bits := w.FPBits()
+				w.storeLayerBits(l, bits)
+				return ec.RespondCompressOnly(m, bits), nil
 			case SchemeEC:
 				// Under ecMu: a leaked handler goroutine from an abandoned
 				// timed-out attempt may still be in here while supervised
 				// recovery resets the responder state.
 				w.ecMu.Lock()
-				payload, stats := w.fpResp[l][requester].Respond(m, t, w.fpBitsLocked())
+				bits := w.fpBitsLocked()
+				payload, stats := w.fpResp[l][requester].Respond(m, t, bits)
 				w.ecMu.Unlock()
+				w.storeLayerBits(l, bits)
 				if !stats.Exact {
 					w.totalRows.Add(int64(stats.Rows))
 					w.predictedRows.Add(int64(stats.Predicted))
+					w.obs.selPredicted.Add(float64(stats.Predicted))
+					w.obs.selAverage.Add(float64(stats.Average))
+					w.obs.selCompressed.Add(float64(stats.Rows - stats.Predicted - stats.Average))
 				}
 				return payload, nil
 			default:

@@ -10,6 +10,7 @@ import (
 	"ecgraph/internal/ec"
 	"ecgraph/internal/graph"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
 	"ecgraph/internal/ps"
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
@@ -132,6 +133,14 @@ type Config struct {
 	// suspect peers are skipped in favour of degraded ghost rows and calls
 	// carry adaptive straggler deadlines.
 	Health PeerHealth
+	// Metrics, when non-nil, registers this worker's telemetry families
+	// (codec bit widths, selector choices, degraded counters, overlap
+	// utilisation); nil costs nothing beyond nil-check branches.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives issue/collect/owned-SpMM/ghost-fold
+	// sub-epoch spans on pid 1+ID (pid 0 is the engine's simulated
+	// timeline).
+	Tracer *obs.Tracer
 }
 
 // Worker is one EC-Graph computation node.
@@ -185,6 +194,14 @@ type Worker struct {
 	predictedRows atomic.Int64
 	totalRows     atomic.Int64
 
+	// Telemetry. layerBits holds the codec width last served per layer
+	// (handler goroutines store, RunEpoch snapshots); commWire/commBlocked
+	// accumulate the epoch's ghost-exchange timing on the epoch goroutine.
+	obs         workerObs
+	layerBits   []atomic.Int64
+	commWire    time.Duration
+	commBlocked time.Duration
+
 	// DistGNN delayed-aggregation ghost caches per layer.
 	ghostHCache []*tensor.Matrix
 
@@ -226,7 +243,9 @@ func New(cfg Config) *Worker {
 		ah:        make([]*tensor.Matrix, L+1),
 		z:         make([]*tensor.Matrix, L+1),
 		ownH:      make([]*tensor.Matrix, L+1),
+		layerBits: make([]atomic.Int64, L+1),
 	}
+	w.obs = newWorkerObs(cfg.Metrics, cfg.Tracer, cfg.ID, L)
 	for i, v := range w.owned {
 		w.ownedPos[v] = int32(i)
 	}
@@ -516,6 +535,23 @@ type EpochReport struct {
 	// proactively — the supervision layer flagged the peer suspect and the
 	// worker skipped the call rather than waiting out retries.
 	StragglerSkips int
+	// PredictedFraction is the share of responder-served rows this epoch
+	// for which the ReqEC-FP predictor won — the Bit-Tuner's input signal.
+	PredictedFraction float64
+	// LayerFPBits is the codec width served per embedding layer (index
+	// 0 ↔ layer 1); layers nobody requested report the nominal width.
+	LayerFPBits []int
+	// ResidualL2 holds the ResEC-BP residual norms per layer (index =
+	// layer, entries 2..L populated); nil when ResEC is off.
+	ResidualL2 []float64
+	// CommWireSeconds is the summed launch-to-completion time of this
+	// epoch's ghost-exchange batches; CommBlockedSeconds is how much of it
+	// the epoch goroutine actually spent waiting. Their gap is the comm
+	// the overlap window hid; OverlapUtilization is that gap as a
+	// fraction of wire time (zero for sequential runs).
+	CommWireSeconds    float64
+	CommBlockedSeconds float64
+	OverlapUtilization float64
 }
 
 // RunEpoch executes iteration t: pull parameters at version t, forward
@@ -531,6 +567,8 @@ type EpochReport struct {
 func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	w.degraded = 0
 	w.skips = 0
+	w.commWire = 0
+	w.commBlocked = 0
 	flat, err := w.cfg.PS.Pull(t)
 	if err != nil {
 		return EpochReport{}, fmt.Errorf("worker %d: pull: %w", w.id, err)
@@ -600,18 +638,30 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 	}
 
 	// Bit-Tuner update from this epoch's responder-side selector outcomes.
+	// The per-epoch counters are drained whether or not the tuner runs, so
+	// PredictedFraction always describes this epoch alone.
 	w.ecMu.Lock()
-	if w.tuner != nil {
-		total := w.totalRows.Swap(0)
-		predicted := w.predictedRows.Swap(0)
-		if total > 0 {
-			w.tuner.Update(float64(predicted) / float64(total))
+	total := w.totalRows.Swap(0)
+	predicted := w.predictedRows.Swap(0)
+	if w.tuner != nil && total > 0 {
+		before := w.tuner.Bits
+		w.tuner.Update(float64(predicted) / float64(total))
+		switch {
+		case w.tuner.Bits > before:
+			w.obs.tunerUp.Inc()
+		case w.tuner.Bits < before:
+			w.obs.tunerDown.Inc()
+		default:
+			w.obs.tunerHold.Inc()
 		}
 	}
 	report.FPBits = w.fpBitsLocked()
 	w.ecMu.Unlock()
-	report.DegradedFetches = w.degraded
-	report.StragglerSkips = w.skips
+	if total > 0 {
+		report.PredictedFraction = float64(predicted) / float64(total)
+	}
+	report.LayerFPBits = w.layerBitsSnapshot(L, report.FPBits)
+	w.finishEpochObs(&report)
 	return report, nil
 }
 
@@ -668,6 +718,13 @@ func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) 
 	layer := w.cfg.Model.Layers[l-1]
 	h := w.ownH[l-1]
 
+	// Tracing stays off the arithmetic: the nil check is the only cost
+	// when disabled, and time.Now never influences what gets computed.
+	tr := w.obs.tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	ah := tensor.New(len(w.owned), h.Cols)
 	w.adj.SpMMOwnedInto(h, ah)
 	z := ah.MatMul(layer.W)
@@ -675,10 +732,20 @@ func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) 
 	if layer.WSelf != nil {
 		zSelf = h.MatMul(layer.WSelf)
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.Span(fmt.Sprintf("fp%d owned", l), "fp", 1+w.id, 0, t0, now.Sub(t0))
+		t0 = now
+	}
 
 	ghost, err := collect()
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.Span(fmt.Sprintf("fp%d collect", l), "fp", 1+w.id, 0, t0, now.Sub(t0))
+		t0 = now
 	}
 	if ghost != nil && ghost.Rows > 0 {
 		// Compact fold: the ghost aggregation only touches boundary rows,
@@ -703,6 +770,9 @@ func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) 
 	}
 	w.ownH[l] = hOut
 	w.hStore.Put(l, t, hOut)
+	if tr != nil {
+		tr.Span(fmt.Sprintf("fp%d fold", l), "fp", 1+w.id, 0, t0, time.Since(t0))
+	}
 	return nil
 }
 
@@ -756,12 +826,20 @@ func (w *Worker) backwardOverlap(t, L int, g *tensor.Matrix, grads *nn.Gradients
 // never invoked for l == 1.
 func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, collect func() (*tensor.Matrix, error)) (*tensor.Matrix, error) {
 	layer := w.cfg.Model.Layers[l-1]
+	tr := w.obs.tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	grads.Layers[l-1].W = w.ah[l].TMatMul(g)
 	if layer.WSelf != nil {
 		grads.Layers[l-1].WSelf = w.ownH[l-1].TMatMul(g)
 	}
 	grads.Layers[l-1].Bias = g.ColSums()
 	if l == 1 {
+		if tr != nil {
+			tr.Span("bp1 owned", "bp", 1+w.id, 0, t0, time.Since(t0))
+		}
 		return nil, nil
 	}
 
@@ -772,10 +850,20 @@ func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, col
 	if layer.WSelf != nil {
 		gSelf = g.MatMulT(layer.WSelf)
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.Span(fmt.Sprintf("bp%d owned", l), "bp", 1+w.id, 0, t0, now.Sub(t0))
+		t0 = now
+	}
 
 	ghost, err := collect()
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.Span(fmt.Sprintf("bp%d collect", l), "bp", 1+w.id, 0, t0, now.Sub(t0))
+		t0 = now
 	}
 	if ghost != nil && ghost.Rows > 0 {
 		if agGhost := w.adj.SpMMGhostCompact(ghost); agGhost != nil {
@@ -785,7 +873,11 @@ func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, col
 	if gSelf != nil {
 		gPrev.AddInPlace(gSelf)
 	}
-	return gPrev.ReLUBackwardInPlace(w.z[l-1]), nil
+	out := gPrev.ReLUBackwardInPlace(w.z[l-1])
+	if tr != nil {
+		tr.Span(fmt.Sprintf("bp%d fold", l), "bp", 1+w.id, 0, t0, time.Since(t0))
+	}
+	return out, nil
 }
 
 // Logits returns the owned vertex ids and their final-layer logits from the
