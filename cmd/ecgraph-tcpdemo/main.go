@@ -73,6 +73,11 @@ func main() {
 		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
 		autoRollback = flag.Bool("auto-rollback", false, "roll back and replay when recovery fails or a numeric guard trips (implies -supervise)")
 
+		elasticSlots = flag.Int("elastic-slots", 0, "reserve this many extra worker node ids for live joins announced over TCP (enables elastic membership)")
+		joinAddr     = flag.String("join-addr", "", "announce membership against a running cluster's monitor at this TCP address, print the returned view, and exit")
+		joinNode     = flag.Int("join-node", -1, "worker node id to announce as joining via -join-addr")
+		drainNode    = flag.Int("drain-node", -1, "worker node id to announce as draining via -join-addr")
+
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090 or :0; host defaults to 127.0.0.1)")
 		eventsOut     = flag.String("events-out", "", "append one JSONL epoch event per worker per epoch to this file")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after training so scrapers can collect the final state")
@@ -82,6 +87,31 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "ecgraph-tcpdemo: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Announcement-only mode: speak the membership protocol against a running
+	// cluster's monitor from outside its node table, report the view, exit.
+	// The hosting process spawns (or retires) the worker on the reserved
+	// transport slot at its next epoch boundary.
+	if *joinAddr != "" {
+		if *joinNode < 0 && *drainNode < 0 {
+			fail(fmt.Errorf("-join-addr needs -join-node or -drain-node"))
+		}
+		node, join := *joinNode, true
+		if *drainNode >= 0 {
+			node, join = *drainNode, false
+		}
+		view, err := supervise.DialAnnounce(*joinAddr, node, join)
+		if err != nil {
+			fail(err)
+		}
+		verb := "join"
+		if !join {
+			verb = "drain"
+		}
+		fmt.Printf("announced %s of worker %d to %s\n", verb, node, *joinAddr)
+		fmt.Printf("monitor view: %s (takes effect at the next epoch boundary)\n", view)
+		return
 	}
 
 	d, err := datasets.Load(*dataset)
@@ -106,13 +136,22 @@ func main() {
 		}
 		defer events.Close()
 	}
-	tcp, err := transport.NewTCPCluster(*workers + *servers)
+	// Elastic hosting reserves transport slots for joiners up front; the
+	// membership monitor is the first parameter server, at node maxWorkers.
+	maxWorkers := *workers + *elasticSlots
+	nodes := maxWorkers + *servers
+	tcp, err := transport.NewTCPCluster(nodes)
 	if err != nil {
 		fail(err)
 	}
 	defer tcp.Close()
-	for i := 0; i < *workers+*servers; i++ {
+	for i := 0; i < nodes; i++ {
 		fmt.Printf("node %d listening on %s\n", i, tcp.Addr(i))
+	}
+	if *elasticSlots > 0 {
+		fmt.Printf("elastic membership on: %d join slots (worker ids %d..%d); announce with\n",
+			*elasticSlots, *workers, maxWorkers-1)
+		fmt.Printf("  ecgraph-tcpdemo -join-addr %s -join-node %d\n", tcp.Addr(maxWorkers), *workers)
 	}
 
 	// NewStack composes the wrapper layers in their one correct order —
@@ -126,7 +165,7 @@ func main() {
 			Seed:        *chaosSeed,
 		}),
 		transport.WithConcurrency(*concurrency),
-		transport.WithNodes(*workers + *servers),
+		transport.WithNodes(nodes),
 		transport.WithMetrics(reg),
 	}
 	chaotic := *chaosDrop > 0 || *chaosErr > 0 || *chaosSpike > 0 || *chaosCrash != ""
@@ -172,6 +211,9 @@ func main() {
 			Overlap: *overlap,
 		},
 	}
+	if *elasticSlots > 0 {
+		cfg.Elastic = &core.ElasticOptions{MaxWorkers: maxWorkers}
+	}
 	if *supervised || *autoRollback {
 		cfg.Supervise = &supervise.Options{
 			HeartbeatInterval: *heartbeat,
@@ -210,6 +252,15 @@ func main() {
 		for _, ev := range res.SuperviseEvents {
 			fmt.Printf("  %s\n", ev)
 		}
+	}
+	if len(res.MembershipEvents) > 0 {
+		fmt.Printf("\nmembership transitions (%d):\n", len(res.MembershipEvents))
+		for _, ev := range res.MembershipEvents {
+			fmt.Printf("  gen %d at epoch %d: +%v -%v -> %d workers (%d vertices moved, %s handoff)\n",
+				ev.Gen, ev.Epoch, ev.Joined, ev.Left, ev.Workers,
+				ev.VerticesMoved, metrics.FormatBytes(float64(ev.HandoffBytes)))
+		}
+		fmt.Printf("final view: gen %d, workers %v\n", res.FinalView.Gen, res.FinalView.Members)
 	}
 	if *metricsAddr != "" && *metricsLinger > 0 {
 		fmt.Printf("metrics endpoint lingering %v for final scrapes\n", *metricsLinger)

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +35,59 @@ func faultsNonEmpty(res *core.Result) bool {
 		}
 	}
 	return false
+}
+
+// parseElasticPlan parses -elastic-join ("epoch" or "epoch:node", comma
+// separated) and -drain ("epoch:node") into a membership plan, and returns
+// the worker node-id space the run needs — boot workers plus every join
+// slot, matching the engine's own id assignment (auto joins take the next
+// unused ids above the boot roster).
+func parseElasticPlan(joins, drains string, bootWorkers int) ([]core.MembershipChange, int, error) {
+	var plan []core.MembershipChange
+	auto := 0
+	maxID := bootWorkers - 1
+	entry := func(s string, join bool) error {
+		parts := strings.Split(strings.TrimSpace(s), ":")
+		epoch, err := strconv.Atoi(parts[0])
+		if err != nil || epoch < 0 {
+			return fmt.Errorf("plan entry %q: bad epoch", s)
+		}
+		node := -1
+		switch {
+		case len(parts) == 2:
+			if node, err = strconv.Atoi(parts[1]); err != nil || node < 0 {
+				return fmt.Errorf("plan entry %q: bad node id", s)
+			}
+			if node > maxID {
+				maxID = node
+			}
+		case len(parts) == 1 && join:
+			auto++
+		default:
+			return fmt.Errorf("plan entry %q: want epoch:node", s)
+		}
+		plan = append(plan, core.MembershipChange{Epoch: epoch, Join: join, Worker: node})
+		return nil
+	}
+	if joins != "" {
+		for _, s := range strings.Split(joins, ",") {
+			if err := entry(s, true); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if drains != "" {
+		for _, s := range strings.Split(drains, ",") {
+			if err := entry(s, false); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	maxWorkers := maxID + 1
+	if n := bootWorkers + auto; n > maxWorkers {
+		maxWorkers = n
+	}
+	return plan, maxWorkers, nil
 }
 
 func parseScheme(s string) (worker.Scheme, error) {
@@ -79,6 +133,11 @@ func main() {
 		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
 		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
 		resume          = flag.String("resume", "", "resume training from this checkpoint file")
+
+		elastic      = flag.Bool("elastic", false, "enable live cluster membership: workers join and leave at epoch boundaries (implied by -elastic-join/-drain)")
+		elasticJoin  = flag.String("elastic-join", "", "scripted worker joins, comma-separated epoch or epoch:node (e.g. 10,16 or 10:4,16:5); node defaults to the next unused id")
+		drain        = flag.String("drain", "", "scripted worker drains, comma-separated epoch:node (e.g. 26:1); the worker leaves at that epoch boundary and its vertices move to the survivors")
+		leaveOnDeath = flag.Bool("leave-on-death", false, "turn a detected permanent worker death into a membership leave instead of a respawn (requires -supervise and -elastic)")
 
 		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection, automatic worker recovery and straggler tolerance")
 		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
@@ -127,6 +186,30 @@ func main() {
 	hiddenDims := make([]int, *layers-1)
 	for i := range hiddenDims {
 		hiddenDims[i] = *hidden
+	}
+
+	wantElastic := *elastic || *elasticJoin != "" || *drain != ""
+	var elasticOpts *core.ElasticOptions
+	if wantElastic {
+		plan, maxW, err := parseElasticPlan(*elasticJoin, *drain, *workers)
+		if err != nil {
+			fail(err)
+		}
+		// MaxWorkers pins the worker node-id space up front so the transport
+		// below and the engine agree on where the servers live.
+		elasticOpts = &core.ElasticOptions{Plan: plan, MaxWorkers: maxW, LeaveOnDeath: *leaveOnDeath}
+	}
+	if *leaveOnDeath && !wantElastic {
+		fail(fmt.Errorf("-leave-on-death requires -elastic"))
+	}
+	if *leaveOnDeath && !*supervised && !*autoRollback {
+		fail(fmt.Errorf("-leave-on-death requires -supervise (death detection lives in the supervisor)"))
+	}
+	if wantElastic && *model == "gat" {
+		fail(fmt.Errorf("-elastic is not supported for the GAT trainer"))
+	}
+	if wantElastic && (*checkpoint != "" || *resume != "") {
+		fail(fmt.Errorf("-checkpoint/-resume are not supported with -elastic yet"))
 	}
 
 	if *model == "gat" && (*checkpoint != "" || *resume != "") {
@@ -184,9 +267,14 @@ func main() {
 
 	// The transport is always built through NewStack: here just the in-proc
 	// base plus bounded CallMulti fan-out, so ghost exchanges overlap peers'
-	// compression work.
+	// compression work. An elastic run reserves node ids for every join slot
+	// up front; idle slots cost nothing until a worker lands on them.
+	nodes := *workers + *servers
+	if elasticOpts != nil {
+		nodes = elasticOpts.MaxWorkers + *servers
+	}
 	stack := transport.NewStack(
-		transport.NewInProc(*workers+*servers),
+		transport.NewInProc(nodes),
 		transport.WithConcurrency(*concurrency),
 		transport.WithMetrics(reg),
 	)
@@ -215,6 +303,7 @@ func main() {
 		Metrics:         reg,
 		Events:          events,
 		Tracer:          tracer,
+		Elastic:         elasticOpts,
 	}
 	if *supervised || *autoRollback {
 		cfg.Supervise = &supervise.Options{
@@ -260,6 +349,15 @@ func main() {
 		for _, ev := range res.SuperviseEvents {
 			fmt.Printf("  %s\n", ev)
 		}
+	}
+	if len(res.MembershipEvents) > 0 {
+		fmt.Printf("\nmembership transitions (%d):\n", len(res.MembershipEvents))
+		for _, ev := range res.MembershipEvents {
+			fmt.Printf("  gen %d at epoch %d: +%v -%v -> %d workers (%d vertices moved, %s handoff)\n",
+				ev.Gen, ev.Epoch, ev.Joined, ev.Left, ev.Workers,
+				ev.VerticesMoved, metrics.FormatBytes(float64(ev.HandoffBytes)))
+		}
+		fmt.Printf("final view: gen %d, workers %v\n", res.FinalView.Gen, res.FinalView.Members)
 	}
 
 	fmt.Printf("\nbest val %.4f at epoch %d; test accuracy %.4f\n", res.BestVal, res.BestEpoch, res.TestAccuracy)

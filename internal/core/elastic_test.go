@@ -1,0 +1,411 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/obs"
+	"ecgraph/internal/ps"
+	"ecgraph/internal/supervise"
+	"ecgraph/internal/transport"
+	"ecgraph/internal/worker"
+)
+
+// elasticCoraConfig is the base configuration of the elastic end-to-end
+// tests: four boot workers with error-compensated compression in both
+// directions, so membership transitions exercise live EC state (trend
+// baselines, residuals), not just raw exchanges.
+func elasticCoraConfig(epochs int) Config {
+	cfg := ecCoraConfig(epochs)
+	cfg.Workers = 4
+	return cfg
+}
+
+// departOnPush flips a chaos runtime departure once the cluster has made a
+// given number of parameter-server pushes — a deterministic training-phase
+// clock (scheduled per-pair departures only go dark edge by edge, so the
+// rarely-used monitor→worker probe pair would answer long after the
+// training plane died).
+type departOnPush struct {
+	transport.Network
+	chaos       *transport.Chaos
+	node        int
+	afterPushes int64
+	pushes      atomic.Int64
+}
+
+func (d *departOnPush) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if method == ps.MethodPush && d.pushes.Add(1) == d.afterPushes {
+		d.chaos.Depart(d.node)
+	}
+	return d.Network.Call(src, dst, method, req)
+}
+
+func (d *departOnPush) CallMulti(src int, calls []transport.Call) []transport.Result {
+	return transport.SequentialMulti(d, src, calls)
+}
+
+// assertSingleOwner checks the membership invariant the whole protocol
+// exists to preserve: every vertex has exactly one owner, and that owner is
+// a member of the final view.
+func assertSingleOwner(t *testing.T, res *Result, n int) {
+	t.Helper()
+	if len(res.FinalAssign) != n {
+		t.Fatalf("final assignment covers %d of %d vertices", len(res.FinalAssign), n)
+	}
+	member := make(map[int]bool, len(res.FinalView.Members))
+	for _, id := range res.FinalView.Members {
+		member[id] = true
+	}
+	owned := make(map[int]int)
+	for v, w := range res.FinalAssign {
+		if !member[w] {
+			t.Fatalf("vertex %d owned by %d, not a member of final view %v", v, w, res.FinalView)
+		}
+		owned[w]++
+	}
+	for _, id := range res.FinalView.Members {
+		if owned[id] == 0 {
+			t.Fatalf("member %d owns no vertices in the final view %v", id, res.FinalView)
+		}
+	}
+}
+
+// TestElasticJoinDrainUnderChaos is the elastic acceptance test: training
+// starts on 4 workers, two more join mid-run (epochs 10 and 16) and one of
+// the originals drains at epoch 26, all while a seeded chaos layer drops
+// ghost exchanges. The run must complete every epoch with finite loss, land
+// within two accuracy points of the static 4-worker run, and end with every
+// vertex owned by exactly one member of the final view.
+func TestElasticJoinDrainUnderChaos(t *testing.T) {
+	const epochs = 40
+	static, err := Train(elasticCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := elasticCoraConfig(epochs)
+	cfg.Elastic = &ElasticOptions{
+		Plan: []MembershipChange{
+			{Epoch: 10, Join: true, Worker: -1}, // auto id 4
+			{Epoch: 16, Join: true, Worker: -1}, // auto id 5
+			{Epoch: 26, Join: false, Worker: 1},
+		},
+	}
+	var events bytes.Buffer
+	cfg.Events = obs.NewEventLog(&events)
+
+	// Node layout: workers 0..5 (two join slots above the boot roster),
+	// servers above them.
+	const maxWorkers = 6
+	nodes := maxWorkers + cfg.Servers
+	inner := transport.NewInProc(nodes)
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{
+		Seed:     11,
+		DropRate: 0.08,
+		Methods:  []string{worker.MethodGetH, worker.MethodGetG},
+	})
+	cfg.Net = transport.NewReliable(chaos, nodes, transport.ReliableConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        11,
+	})
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("elastic run trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	for i, e := range res.Epochs {
+		if math.IsNaN(e.Loss) || math.IsInf(e.Loss, 0) {
+			t.Fatalf("epoch %d loss %v is not finite", i, e.Loss)
+		}
+	}
+	if chaos.Injected().Drops == 0 {
+		t.Fatal("chaos injected nothing; the run was not actually under faults")
+	}
+
+	// Roster trajectory: 4 workers, then 5, then 6, then 5 after the drain,
+	// with the view generation stepping at each transition.
+	wantActive := func(epoch, want int) {
+		t.Helper()
+		if got := res.Epochs[epoch].ActiveWorkers; got != want {
+			t.Fatalf("epoch %d ran with %d active workers, want %d", epoch, got, want)
+		}
+	}
+	wantActive(9, 4)
+	wantActive(10, 5)
+	wantActive(16, 6)
+	wantActive(25, 6)
+	wantActive(26, 5)
+	if gen := res.Epochs[epochs-1].ViewGen; gen != 3 {
+		t.Fatalf("final epoch ran under view gen %d, want 3", gen)
+	}
+	if got, want := res.FinalView.Members, []int{0, 2, 3, 4, 5}; len(got) != len(want) {
+		t.Fatalf("final view members %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final view members %v, want %v", got, want)
+			}
+		}
+	}
+	assertSingleOwner(t, res, cfg.Dataset.Graph.N)
+
+	if len(res.MembershipEvents) != 3 {
+		t.Fatalf("%d membership transitions recorded, want 3: %+v", len(res.MembershipEvents), res.MembershipEvents)
+	}
+	for _, ev := range res.MembershipEvents {
+		if ev.VerticesMoved == 0 {
+			t.Fatalf("transition gen %d moved no vertices", ev.Gen)
+		}
+		if len(ev.Joined) > 0 && ev.HandoffBytes == 0 {
+			t.Fatalf("join transition gen %d shipped no handoff bytes", ev.Gen)
+		}
+	}
+
+	// The epoch event log must carry the view through: every record stamps
+	// its generation and roster size, and the transitions appear as
+	// membership blocks on the first record of their epoch.
+	var records, memBlocks int
+	dec := json.NewDecoder(&events)
+	for dec.More() {
+		var ev EpochEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		records++
+		if ev.ActiveWorkers == 0 {
+			t.Fatalf("event record epoch %d worker %d missing active_workers", ev.Epoch, ev.Worker)
+		}
+		memBlocks += len(ev.Membership)
+	}
+	if memBlocks != 3 {
+		t.Fatalf("event log carries %d membership transitions across %d records, want 3", memBlocks, records)
+	}
+
+	if diff := math.Abs(res.TestAccuracy - static.TestAccuracy); diff > 0.02 {
+		t.Fatalf("elastic accuracy %.4f vs static %.4f (|diff| %.4f > 0.02)",
+			res.TestAccuracy, static.TestAccuracy, diff)
+	}
+}
+
+// TestElasticLeaveOnDeath: a permanent worker departure (the machine never
+// comes back) under supervision with LeaveOnDeath converts the phi-detected
+// death into a membership leave — the dead worker's vertices move to the
+// survivors and training finishes on the shrunken cluster instead of
+// waiting for a respawn that can never happen.
+func TestElasticLeaveOnDeath(t *testing.T) {
+	const epochs = 30
+	clean, err := Train(elasticCoraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := elasticCoraConfig(epochs)
+	sup := fastSupervision()
+	cfg.Supervise = sup
+	cfg.Elastic = &ElasticOptions{LeaveOnDeath: true}
+
+	nodes := cfg.Workers + cfg.Servers
+	inner := transport.NewInProc(nodes)
+	// Worker 1 departs permanently a third of the way through the run. The
+	// trigger counts parameter-server pushes (8 per epoch: 4 workers x 2
+	// servers), a training-phase clock that is immune to wall-clock pacing,
+	// and flips the chaos layer's runtime departure switch — from then on
+	// every call touching node 1, probes and heartbeats included, fails.
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{Seed: 17})
+	trigger := &departOnPush{Network: chaos, chaos: chaos, node: 1, afterPushes: 8 * 10}
+	cfg.Net = transport.NewReliable(trigger, nodes, transport.ReliableConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        17,
+	})
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("run trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	if got, want := res.FinalView.Members, []int{0, 2, 3}; len(got) != len(want) {
+		t.Fatalf("final view members %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final view members %v, want %v", got, want)
+			}
+		}
+	}
+	assertSingleOwner(t, res, cfg.Dataset.Graph.N)
+	if len(res.MembershipEvents) != 1 {
+		t.Fatalf("%d membership transitions, want 1: %+v", len(res.MembershipEvents), res.MembershipEvents)
+	}
+	ev := res.MembershipEvents[0]
+	if len(ev.Left) != 1 || ev.Left[0] != 1 || len(ev.Joined) != 0 {
+		t.Fatalf("transition %+v, want worker 1 leaving", ev)
+	}
+	// The dead worker's state was unreadable, so its vertices restarted
+	// cold — no handoff payloads should have been shipped on its behalf.
+	if ev.HandoffBytes != 0 {
+		t.Fatalf("transition shipped %d handoff bytes from a dead worker", ev.HandoffBytes)
+	}
+	// The supervision log records the death-to-leave conversion and the
+	// post-transition recovery in order; the membership log (appended after
+	// it, not interleaved) must carry the installed view change.
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventLeave, supervise.EventRetry, supervise.EventRecovered,
+	})
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventViewChange, supervise.EventHandoff,
+	})
+	if diff := math.Abs(res.TestAccuracy - clean.TestAccuracy); diff > 0.03 {
+		t.Fatalf("leave-on-death accuracy %.4f vs clean %.4f (|diff| %.4f > 0.03)",
+			res.TestAccuracy, clean.TestAccuracy, diff)
+	}
+}
+
+// TestElasticScalingHarness is the stress harness: a synthetic graph trains
+// on 4 workers, scales to 16, then to 64, all mid-run, and the virtual
+// clock's per-generation epoch times must show the scale-out actually
+// buying epoch time. The measured scaling curve lands in BENCH_elastic.json
+// at the repo root (the shared gate.ok schema) for CI to gate and archive.
+func TestElasticScalingHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress harness skipped in -short mode")
+	}
+
+	d := datasets.Generate(datasets.Config{
+		Name: "elastic-synth", N: 25600, AvgDegree: 8,
+		NumFeatures: 64, NumClasses: 8, Homophily: 0.7,
+		TrainFrac: 0.3, ValFrac: 0.2, Seed: 7,
+	})
+	const (
+		epochs    = 12
+		joinAt16  = 4
+		joinAt64  = 8
+		maxFinal  = 64
+		bootSize  = 4
+		midSize   = 16
+		minGain   = 1.3
+		benchFile = "BENCH_elastic.json"
+	)
+	var plan []MembershipChange
+	for i := bootSize; i < midSize; i++ {
+		plan = append(plan, MembershipChange{Epoch: joinAt16, Join: true, Worker: -1})
+	}
+	for i := midSize; i < maxFinal; i++ {
+		plan = append(plan, MembershipChange{Epoch: joinAt64, Join: true, Worker: -1})
+	}
+	cfg := Config{
+		Dataset: d,
+		Hidden:  []int{32},
+		Workers: bootSize,
+		Servers: 1,
+		Epochs:  epochs,
+		LR:      0.01,
+		Seed:    1,
+		Worker: worker.Options{
+			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
+			FPBits: 4, BPBits: 4, Ttr: 10,
+		},
+		// A 64-way cluster on a random-ish partition has every worker
+		// talking to nearly every other one, so the default 500µs-per-call
+		// gRPC-stack overhead would swamp the scale-out no matter how the
+		// membership layer performs. The harness models a leaner RPC fabric
+		// (50µs per call, same Gigabit bandwidth) so the curve measures the
+		// elastic machinery, not the paper's §V-D small-graph RPC tax.
+		Cost:    transport.CostModel{LatencySec: 50e-6, BandwidthBytesPerSec: 117 * 1024 * 1024},
+		Elastic: &ElasticOptions{Plan: plan},
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != epochs {
+		t.Fatalf("harness trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	assertSingleOwner(t, res, d.Graph.N)
+	if got := res.Epochs[epochs-1].ActiveWorkers; got != maxFinal {
+		t.Fatalf("final epoch ran with %d workers, want %d", got, maxFinal)
+	}
+
+	// Mean simulated epoch time per roster size. The epoch right after each
+	// transition is excluded: it carries the handoff traffic and the forced
+	// exact-sync round, which is transition cost, not steady-state time.
+	meanSim := func(size int, skipEpoch int) float64 {
+		var sum float64
+		var n int
+		for i, e := range res.Epochs {
+			if e.ActiveWorkers == size && i != skipEpoch {
+				sum += e.SimSeconds
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no steady-state epochs at %d workers", size)
+		}
+		return sum / float64(n)
+	}
+	t4 := meanSim(bootSize, -1)
+	t16 := meanSim(midSize, joinAt16)
+	t64 := meanSim(maxFinal, joinAt64)
+	speedup := t4 / t64
+	t.Logf("scaling curve: %d workers %.4fs, %d workers %.4fs, %d workers %.4fs (4→64 speedup %.2fx)",
+		bootSize, t4, midSize, t16, maxFinal, t64, speedup)
+
+	out := map[string]any{
+		"benchmark":    "elastic-scaling",
+		"workers":      maxFinal,
+		"epochs":       epochs,
+		"latency_ms":   0.0,
+		"baseline_ms":  t4 * 1000,
+		"optimized_ms": t64 * 1000,
+		"speedup":      speedup,
+		"gate": map[string]any{
+			"min_speedup": minGain,
+			"ok":          speedup >= minGain,
+		},
+		"calibration": map[string]any{
+			"vertices":         d.Graph.N,
+			"boot_workers":     bootSize,
+			"mid_workers":      midSize,
+			"final_workers":    maxFinal,
+			"epoch_s_4":        t4,
+			"epoch_s_16":       t16,
+			"epoch_s_64":       t64,
+			"view_transitions": len(res.MembershipEvents),
+			"vertices_rebalanced": func() int {
+				var n int
+				for _, ev := range res.MembershipEvents {
+					n += ev.VerticesMoved
+				}
+				return n
+			}(),
+		},
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("..", "..", benchFile), append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if speedup < minGain {
+		t.Fatalf("scaling 4→64 workers bought only %.2fx epoch time (floor %.1fx)", speedup, minGain)
+	}
+}

@@ -87,6 +87,14 @@ type Config struct {
 	// best-validation bookkeeping carry over exactly.
 	ResumeFrom string
 
+	// Elastic, when non-nil, enables live cluster membership: workers join
+	// and leave mid-training at epoch boundaries, with incremental
+	// repartitioning and state handoff (see ElasticOptions). Scripted
+	// changes run from Elastic.Plan; runtime announcements arrive over the
+	// transport (supervise.AnnounceJoin/AnnounceLeave against the first
+	// parameter server). LeaveOnDeath additionally requires Supervise.
+	Elastic *ElasticOptions
+
 	// Supervise, when non-nil, makes training self-healing: workers emit
 	// heartbeats to the first parameter server, a phi-accrual failure
 	// detector classifies them healthy/suspect/dead, dead workers are
@@ -142,6 +150,11 @@ type EpochStats struct {
 	TestAcc           float64
 	FPBits            []int // per-worker forward bit width after tuning
 
+	// ViewGen and ActiveWorkers describe the membership view the epoch ran
+	// under (generation 0 and the boot roster on non-elastic runs).
+	ViewGen       int
+	ActiveWorkers int
+
 	// Fault-tolerance counters, all zero on a healthy transport: attempts
 	// retried / timed out / abandoned by the Reliable wrapper (summed over
 	// nodes), and ghost exchanges served from stale caches or EC prediction
@@ -188,6 +201,14 @@ type Result struct {
 	// Recoveries counts epoch-level recovery actions (retries after worker
 	// death or transient failure, plus rollbacks) the supervisor performed.
 	Recoveries int
+
+	// FinalView is the membership view in force when training ended;
+	// generation 0 over the boot roster on non-elastic runs. FinalAssign is
+	// the vertex assignment under it, and MembershipEvents summarises every
+	// installed view transition in order.
+	FinalView        supervise.View
+	FinalAssign      []int
+	MembershipEvents []MembershipEvent
 
 	// PartitionStats describes the cut the partitioner produced.
 	PartitionStats partition.Stats
@@ -276,13 +297,30 @@ func Train(c Config) (*Result, error) {
 	if adj == nil {
 		adj = graph.Normalize(d.Graph)
 	}
+	// Elastic runs reserve node-id space for workers that may join later:
+	// workers occupy ids 0..maxWorkers-1 (the active subset varies per
+	// view) and servers sit above at maxWorkers..maxWorkers+Servers-1.
+	// Non-elastic runs have maxWorkers == Workers, the historical layout.
+	maxWorkers := cfg.Workers
+	var plan []MembershipChange
+	if cfg.Elastic != nil {
+		if cfg.Elastic.LeaveOnDeath && cfg.Supervise == nil {
+			return nil, fmt.Errorf("core: Elastic.LeaveOnDeath requires Config.Supervise")
+		}
+		var perr error
+		plan, maxWorkers, perr = normalizePlan(cfg.Elastic, cfg.Workers)
+		if perr != nil {
+			return nil, perr
+		}
+	}
+
 	assign := cfg.Partitioner.Partition(d.Graph, cfg.Workers)
 	res.PartitionStats = partition.Analyze(d.Graph, assign, cfg.Workers)
-	topo := worker.BuildTopology(d.Graph, assign, cfg.Workers)
+	topo := worker.BuildTopology(d.Graph, assign, maxWorkers)
 
 	net := cfg.Net
 	if net == nil {
-		net = transport.NewInProc(cfg.Workers + cfg.Servers)
+		net = transport.NewInProc(maxWorkers + cfg.Servers)
 		defer net.Close()
 	}
 
@@ -292,24 +330,43 @@ func Train(c Config) (*Result, error) {
 	serverNodes := make([]int, cfg.Servers)
 	servers := make([]*ps.Server, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		node := cfg.Workers + i
+		node := maxWorkers + i
 		serverNodes[i] = node
 		servers[i] = ps.NewServerOpts(flat[ranges[i].Lo:ranges[i].Hi], cfg.LR, cfg.Workers, cfg.Optim)
 		net.Register(node, servers[i].Handler())
 	}
 
 	// Supervision: heartbeats from every worker land on the first parameter
-	// server, whose handler is wrapped with the supervision RPCs. The
-	// supervisor exists before the workers so they can consult it (as their
-	// PeerHealth) inside the ghost exchange.
+	// server (the monitor), whose handler is wrapped with the supervision
+	// RPCs. The supervisor exists before the workers so they can consult it
+	// (as their PeerHealth) inside the ghost exchange. With Elastic the
+	// membership manager wraps the same chain, so join/leave announcements
+	// and heartbeats share the monitor's handler.
 	var sup *supervise.Supervisor
+	var mem *supervise.Membership
 	if cfg.Supervise != nil {
 		workerNodes := make([]int, cfg.Workers)
 		for i := range workerNodes {
 			workerNodes[i] = i
 		}
 		sup = supervise.New(*cfg.Supervise, net, workerNodes, serverNodes[0])
-		net.Register(serverNodes[0], sup.WrapHandler(servers[0].Handler()))
+	}
+	if cfg.Elastic != nil {
+		bootRoster := make([]int, cfg.Workers)
+		for i := range bootRoster {
+			bootRoster[i] = i
+		}
+		mem = supervise.NewMembership(bootRoster)
+	}
+	if sup != nil || mem != nil {
+		h := servers[0].Handler()
+		if sup != nil {
+			h = sup.WrapHandler(h)
+		}
+		if mem != nil {
+			h = mem.WrapHandler(h)
+		}
+		net.Register(serverNodes[0], h)
 	}
 
 	// Telemetry: codec totals, detector state and engine gauges all hang
@@ -346,43 +403,37 @@ func Train(c Config) (*Result, error) {
 	if sup != nil {
 		health = sup
 	}
-	mkWorker := func(i int) *worker.Worker {
-		return worker.New(worker.Config{
-			ID:             i,
-			Net:            net,
-			Topo:           topo,
-			Adj:            adj,
-			Feats:          d.Features,
-			Labels:         d.Labels,
-			TrainMask:      d.TrainMask,
-			NumTrainGlobal: nTrain,
-			Model:          nn.NewModel(cfg.Kind, dims, cfg.Seed),
-			PS:             ps.NewClient(net, i, serverNodes, ranges),
-			Opts:           cfg.Worker,
-			Health:         health,
-			Metrics:        cfg.Metrics,
-			Tracer:         cfg.Tracer,
-		})
+
+	// The cluster owns every piece of roster-dependent state — assignment,
+	// topology, active ids, worker objects. Workers are always built from
+	// its CURRENT topology, so respawns after a view change see the roster
+	// in force, never the boot-time one.
+	cl := &cluster{
+		cfg: &cfg, dims: dims, adj: adj, nTrain: nTrain, net: net,
+		maxWorkers: maxWorkers, serverNodes: serverNodes, servers: servers,
+		ranges: ranges, sup: sup, mem: mem, health: health,
+		mobs: newMembershipObs(cfg.Metrics), tracer: cfg.Tracer,
+		assign: assign, topo: topo,
+		workers: make(map[int]*worker.Worker),
+		dead:    make(map[int]bool),
+		plan:    plan,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		cl.active = append(cl.active, i)
 	}
 	// Worker handlers are wrapped too so worker nodes answer sup.ping —
 	// liveness probes must reach the same handler chain as ghost traffic.
-	registerWorker := func(i int, w *worker.Worker) {
-		h := w.Handler()
-		if sup != nil {
-			h = sup.WrapHandler(h)
-		}
-		net.Register(i, h)
-	}
-	workers := make([]*worker.Worker, cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		workers[i] = mkWorker(i)
-		registerWorker(i, workers[i])
+	for _, id := range cl.active {
+		w := cl.newWorker(id)
+		cl.workers[id] = w
+		cl.registerWorker(id, w)
 		res.MemoryFloats = append(res.MemoryFloats,
-			int64(workers[i].NumOwned()+workers[i].NumGhosts())*int64(d.NumFeatures()))
+			int64(w.NumOwned()+w.NumGhosts())*int64(d.NumFeatures()))
 	}
+	cl.mobs.activeWorkers.Set(float64(len(cl.active)))
 
 	// First-hop ghost feature fetch (the static layer-0 cache).
-	if err := runAll(workers, func(w *worker.Worker) error { return w.FetchGhostFeatures() }); err != nil {
+	if err := runAll(cl.workerList(), func(w *worker.Worker) error { return w.FetchGhostFeatures() }); err != nil {
 		return nil, err
 	}
 	// A resumed run restarts with empty EC state on both ends of every pair
@@ -391,19 +442,19 @@ func Train(c Config) (*Result, error) {
 	// selector and prediction-based degraded mode — rebuild immediately
 	// instead of compressing blind until the next scheduled T_tr boundary.
 	if cfg.ResumeFrom != "" {
-		for _, w := range workers {
+		for _, w := range cl.workerList() {
 			w.ForceExactSync()
 		}
 	}
 	preCompute := time.Since(preStart).Seconds()
-	res.PreprocessSeconds = preCompute + maxNodeCommTime(net, &cfg, cfg.Workers+cfg.Servers)
+	res.PreprocessSeconds = preCompute + maxNodeCommTime(net, &cfg, maxWorkers+cfg.Servers)
 	net.ResetStats()
 
 	var sv *supervisedRun
 	if sup != nil {
 		sup.Start()
 		defer sup.Stop()
-		sv = newSupervisedRun(&cfg, sup, net, workers, mkWorker, servers, serverNodes, ranges, dims, startEpoch, res)
+		sv = newSupervisedRun(&cfg, sup, net, cl, servers, serverNodes, ranges, dims, startEpoch, res)
 	}
 
 	// ---- Training epochs ----
@@ -412,23 +463,35 @@ func Train(c Config) (*Result, error) {
 		ckptEvery = 10
 	}
 	valIdx, testIdx := d.ValIdx(), d.TestIdx()
-	reports := make([]worker.EpochReport, cfg.Workers)
-	// Per-worker-node transport snapshot and simulated link time of the
-	// epoch in flight, captured by runEpoch before the counters are reset
-	// so the event log can attribute traffic per worker.
-	workerStats := make([]transport.Stats, cfg.Workers)
-	workerComm := make([]float64, cfg.Workers)
-	supCursor := 0 // supervision log entries already emitted to the event log
+	// Per-active-worker slices of the epoch in flight: the worker reports,
+	// each worker node's transport snapshot and simulated link time, captured
+	// by runEpoch before the counters are reset so the event log can
+	// attribute traffic per worker. Allocated per epoch because the roster
+	// changes under elastic membership; epochIDs records which node each
+	// index belongs to.
+	var epochIDs []int
+	var reports []worker.EpochReport
+	var workerStats []transport.Stats
+	var workerComm []float64
+	supCursor := 0   // supervision log entries already emitted to the event log
+	memEvCursor := 0 // membership log entries already emitted to the event log
+	memCursor := 0   // view transitions already emitted to the event log
 	lastVersion := startEpoch
 
 	// runEpoch executes one training iteration and assembles its stats.
 	// Counters are only reset after a successful epoch, so the traffic of a
-	// failed attempt and its recovery is charged to the epoch that finally
-	// completes — recovery cost is visible in the per-epoch fault columns
-	// rather than silently discarded.
+	// failed attempt and its recovery — and of any view transition, whose
+	// handoff payloads travel the same links — is charged to the epoch that
+	// finally completes, visible in the per-epoch fault columns rather than
+	// silently discarded.
 	runEpoch := func(t int) (EpochStats, *tensor.Matrix, error) {
+		ws := cl.workerList()
+		epochIDs = append(epochIDs[:0], cl.active...)
+		reports = make([]worker.EpochReport, len(ws))
+		workerStats = make([]transport.Stats, len(ws))
+		workerComm = make([]float64, len(ws))
 		epochStart := time.Now()
-		if err := runAllIdx(workers, func(i int, w *worker.Worker) error {
+		if err := runAllIdx(ws, func(i int, w *worker.Worker) error {
 			var err error
 			reports[i], err = w.RunEpoch(t)
 			return err
@@ -436,11 +499,23 @@ func Train(c Config) (*Result, error) {
 			return EpochStats{}, nil, err
 		}
 		wall := time.Since(epochStart).Seconds()
-		stats := EpochStats{RawComputeSeconds: wall, ComputeSeconds: wall / float64(cfg.Workers)}
+		stats := EpochStats{
+			RawComputeSeconds: wall,
+			// The virtual clock divides by the machines actually computing
+			// this epoch, so epoch time shrinks as workers join.
+			ComputeSeconds: wall / float64(len(ws)),
+			ActiveWorkers:  len(ws),
+		}
+		if mem != nil {
+			stats.ViewGen = mem.View().Gen
+		}
 
 		var totalBytes, maxBytes, msgs int64
 		var maxComm float64
-		for node := 0; node < cfg.Workers+cfg.Servers; node++ {
+		// Every node in the id space is counted, not just the active ones: a
+		// departed worker's last traffic and the handoff bytes it shipped on
+		// its way out still crossed real links.
+		for node := 0; node < maxWorkers+cfg.Servers; node++ {
 			s := net.NodeStats(node)
 			totalBytes += s.BytesOut // each byte counted once at its sender
 			msgs += s.Messages
@@ -454,10 +529,11 @@ func Train(c Config) (*Result, error) {
 			if c > maxComm {
 				maxComm = c
 			}
-			if node < cfg.Workers {
-				workerStats[node] = s
-				workerComm[node] = c
-			}
+		}
+		for i, id := range epochIDs {
+			s := net.NodeStats(id)
+			workerStats[i] = s
+			workerComm[i] = cfg.costFor(id).TimeFor(s)
 		}
 		stats.Bytes = totalBytes
 		stats.MaxNodeBytes = maxBytes
@@ -476,13 +552,18 @@ func Train(c Config) (*Result, error) {
 			stats.Loss = lossSum / float64(nTrain)
 		}
 
-		logits := gatherLogits(net, workers, t, d.Graph.N, d.NumClasses)
+		logits := gatherLogits(net, epochIDs, t, d.Graph.N, d.NumClasses)
 		stats.ValAcc = nn.Accuracy(logits, d.Labels, valIdx)
 		stats.TestAcc = nn.Accuracy(logits, d.Labels, testIdx)
 		return stats, logits, nil
 	}
 
 	for t := startEpoch; t < cfg.Epochs; {
+		// Epoch boundary: install any pending membership change before the
+		// epoch runs, so no epoch ever observes two rosters.
+		if _, err := cl.maybeTransition(t); err != nil {
+			return nil, err
+		}
 		stats, logits, err := runEpoch(t)
 		if err == nil && sv != nil {
 			if reason := sv.guardReason(stats, logits); reason != "" {
@@ -507,12 +588,21 @@ func Train(c Config) (*Result, error) {
 		}
 		eng.observeEpoch(t, &stats)
 		var supSince []supervise.Event
-		if sup != nil && cfg.Events != nil {
-			evs := sup.Events()
-			supSince = evs[supCursor:]
-			supCursor = len(evs)
+		if cfg.Events != nil {
+			if sup != nil {
+				evs := sup.Events()
+				supSince = append(supSince, evs[supCursor:]...)
+				supCursor = len(evs)
+			}
+			if mem != nil {
+				evs := mem.Events()
+				supSince = append(supSince, evs[memEvCursor:]...)
+				memEvCursor = len(evs)
+			}
 		}
-		emitEpochEvents(cfg.Events, t, &stats, reports, workerStats, workerComm, supSince)
+		memSince := cl.transitions[memCursor:]
+		memCursor = len(cl.transitions)
+		emitEpochEvents(cfg.Events, t, &stats, epochIDs, reports, workerStats, workerComm, supSince, memSince)
 		net.ResetStats()
 		if sv != nil {
 			sv.noteSuccess(t)
@@ -556,8 +646,9 @@ func Train(c Config) (*Result, error) {
 
 	// Export the trained parameters for inference/checkpointing.
 	// lastVersion, not len(res.Epochs): a resumed run's first epoch already
-	// left the servers past version len(res.Epochs).
-	finalClient := ps.NewClient(net, 0, serverNodes, ranges)
+	// left the servers past version len(res.Epochs). The pull issues from an
+	// active worker node — node 0 may have left the cluster.
+	finalClient := ps.NewClient(net, cl.active[0], serverNodes, ranges)
 	res.FinalParams, err = finalClient.Pull(lastVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: pull final params: %w", err)
@@ -566,6 +657,14 @@ func Train(c Config) (*Result, error) {
 		res.SuperviseEvents = sup.Events()
 		res.Recoveries = sv.recoveries
 	}
+	if mem != nil {
+		res.SuperviseEvents = append(res.SuperviseEvents, mem.Events()...)
+		res.FinalView = mem.View()
+	} else {
+		res.FinalView = supervise.View{Members: append([]int(nil), cl.active...)}
+	}
+	res.FinalAssign = append([]int(nil), cl.assign...)
+	res.MembershipEvents = cl.transitions
 	return res, nil
 }
 
@@ -674,14 +773,14 @@ func runAllIdx(workers []*worker.Worker, f func(int, *worker.Worker) error) erro
 	return first
 }
 
-// gatherLogits assembles the global logits matrix from each worker's owned
-// rows. Calls are node-local (src == dst) so evaluation is not charged to
-// the simulated network.
-func gatherLogits(net transport.Network, workers []*worker.Worker, epoch, n, classes int) *tensor.Matrix {
+// gatherLogits assembles the global logits matrix from the owned rows of
+// the workers at the given node ids. Calls are node-local (src == dst) so
+// evaluation is not charged to the simulated network.
+func gatherLogits(net transport.Network, ids []int, epoch, n, classes int) *tensor.Matrix {
 	out := tensor.New(n, classes)
 	req := transport.NewWriter(4)
 	req.Uint32(uint32(epoch))
-	for i := range workers {
+	for _, i := range ids {
 		resp, err := net.Call(i, i, worker.MethodLogits, req.Bytes())
 		if err != nil {
 			panic(fmt.Sprintf("core: gather logits from worker %d: %v", i, err))

@@ -82,6 +82,11 @@ type EpochEvent struct {
 	Epoch  int    `json:"epoch"`
 	Worker int    `json:"worker"`
 
+	// Membership view the epoch ran under (generation 0 and the boot roster
+	// on non-elastic runs).
+	ViewGen       int `json:"view_gen"`
+	ActiveWorkers int `json:"active_workers"`
+
 	// Training signal (global, identical across the epoch's records).
 	Loss    float64 `json:"loss"`
 	ValAcc  float64 `json:"val_acc"`
@@ -116,18 +121,23 @@ type EpochEvent struct {
 	CommBlockedSeconds float64 `json:"comm_blocked_seconds"`
 	OverlapUtilization float64 `json:"overlap_utilization"`
 
-	// Supervision events observed since the previous record was emitted
-	// (rendered strings; worker-0 record only).
+	// Supervision and membership-log events observed since the previous
+	// record was emitted (rendered strings; first record of the epoch only).
 	Supervise []string `json:"supervise,omitempty"`
+	// Membership summarises the view transitions installed since the
+	// previous record (first record of the epoch only).
+	Membership []MembershipEvent `json:"membership,omitempty"`
 }
 
-// emitEpochEvents writes one EpochEvent per worker for a completed epoch.
-// wstats and wcomm are the per-worker-node transport snapshot and simulated
-// link time captured before the counters were reset; supEvents are the
-// supervision log entries new since the last emission.
-func emitEpochEvents(log *obs.EventLog, t int, stats *EpochStats,
+// emitEpochEvents writes one EpochEvent per active worker for a completed
+// epoch. ids maps record index to worker node id; wstats and wcomm are the
+// per-worker-node transport snapshot and simulated link time captured before
+// the counters were reset; supEvents are the supervision/membership log
+// entries and memEvents the installed view transitions new since the last
+// emission.
+func emitEpochEvents(log *obs.EventLog, t int, stats *EpochStats, ids []int,
 	reports []worker.EpochReport, wstats []transport.Stats, wcomm []float64,
-	supEvents []supervise.Event) {
+	supEvents []supervise.Event, memEvents []MembershipEvent) {
 	if log == nil {
 		return
 	}
@@ -141,13 +151,20 @@ func emitEpochEvents(log *obs.EventLog, t int, stats *EpochStats,
 		if i < len(wstats) {
 			ns, comm = wstats[i], wcomm[i]
 		}
+		node := i
+		if i < len(ids) {
+			node = ids[i]
+		}
 		ev := EpochEvent{
 			Schema:  EpochEventSchema,
 			Epoch:   t,
-			Worker:  i,
+			Worker:  node,
 			Loss:    stats.Loss,
 			ValAcc:  stats.ValAcc,
 			TestAcc: stats.TestAcc,
+
+			ViewGen:       stats.ViewGen,
+			ActiveWorkers: stats.ActiveWorkers,
 
 			LocalLossSum:   reports[i].LocalLossSum,
 			ComputeSeconds: stats.ComputeSeconds,
@@ -172,6 +189,7 @@ func emitEpochEvents(log *obs.EventLog, t int, stats *EpochStats,
 		}
 		if i == 0 {
 			ev.Supervise = supStrs
+			ev.Membership = memEvents
 		}
 		log.Emit(ev)
 	}

@@ -38,21 +38,19 @@ import (
 	"ecgraph/internal/supervise"
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
-	"ecgraph/internal/worker"
 )
 
 // supervisedRun carries the engine-side recovery state across epochs.
 type supervisedRun struct {
-	cfg      *Config
-	sup      *supervise.Supervisor
-	net      transport.Network
-	workers  []*worker.Worker
-	mkWorker func(i int) *worker.Worker
-	servers  []*ps.Server
-	ranges   []ps.Range
-	dims     []int
-	diag     *ps.Client // version reads during recovery
-	res      *Result
+	cfg     *Config
+	sup     *supervise.Supervisor
+	net     transport.Network
+	cl      *cluster
+	servers []*ps.Server
+	ranges  []ps.Range
+	dims    []int
+	diag    *ps.Client // version reads during recovery
+	res     *Result
 
 	startEpoch int
 	// initState snapshots the servers before the first epoch so a rollback
@@ -74,15 +72,14 @@ type supervisedRun struct {
 }
 
 func newSupervisedRun(cfg *Config, sup *supervise.Supervisor, net transport.Network,
-	workers []*worker.Worker, mkWorker func(int) *worker.Worker,
+	cl *cluster,
 	servers []*ps.Server, serverNodes []int, ranges []ps.Range, dims []int,
 	startEpoch int, res *Result) *supervisedRun {
 	sv := &supervisedRun{
 		cfg:           cfg,
 		sup:           sup,
 		net:           net,
-		workers:       workers,
-		mkWorker:      mkWorker,
+		cl:            cl,
 		servers:       servers,
 		ranges:        ranges,
 		dims:          dims,
@@ -189,6 +186,20 @@ func (sv *supervisedRun) recover(t int, cause error) (int, error) {
 		return t, nil
 	}
 
+	// LeaveOnDeath: a permanently dead worker becomes a membership leave —
+	// its vertices move to the survivors at the boundary before the retried
+	// epoch (cluster.maybeTransition, top of the training loop) — instead of
+	// being respawned in place. The whole cluster crashing at once still
+	// takes the respawn path: a view transition must leave someone to train.
+	if sv.cl.elastic() && sv.cfg.Elastic.LeaveOnDeath && len(crashed) < len(sv.cl.active) {
+		for _, i := range crashed {
+			sv.cl.forceLeave(i, fmt.Sprintf("phi-detected death at epoch %d: %s", t, short(cause.Error())))
+			sv.sup.Record(supervise.EventLeave, i, t, "permanent death converted to membership leave")
+		}
+		sv.sup.Record(supervise.EventRetry, -1, t, short(cause.Error()))
+		return t, nil
+	}
+
 	for _, i := range crashed {
 		if !sv.sup.AwaitReachable(i, opts.ProbeBudget) {
 			reason := fmt.Sprintf("worker %d unreachable after %v probe budget", i, opts.ProbeBudget)
@@ -197,10 +208,11 @@ func (sv *supervisedRun) recover(t int, cause error) (int, error) {
 			}
 			return 0, fmt.Errorf("core: %s at epoch %d: %w", reason, t, cause)
 		}
-		sv.workers[i] = sv.mkWorker(i)
-		sv.net.Register(i, sv.sup.WrapHandler(sv.workers[i].Handler()))
+		w := sv.cl.newWorker(i)
+		sv.cl.workers[i] = w
+		sv.cl.registerWorker(i, w)
 		sv.sup.Record(supervise.EventRespawn, i, t, "fresh worker replaced dead one")
-		if err := sv.workers[i].FetchGhostFeatures(); err != nil {
+		if err := w.FetchGhostFeatures(); err != nil {
 			reason := fmt.Sprintf("rehydrate worker %d: %v", i, err)
 			if opts.AutoRollback {
 				return sv.rollback(t, reason)
@@ -218,11 +230,11 @@ func (sv *supervisedRun) recover(t int, cause error) (int, error) {
 	return t, nil
 }
 
-// probeAll pings every worker node from the monitor and returns the ones
-// that did not answer. Worker node ids equal their indices.
+// probeAll pings every active worker node from the monitor and returns the
+// ones that did not answer.
 func (sv *supervisedRun) probeAll() []int {
 	var crashed []int
-	for i := range sv.workers {
+	for _, i := range sv.cl.active {
 		if !sv.sup.Probe(i) {
 			crashed = append(crashed, i)
 		}
@@ -234,10 +246,10 @@ func (sv *supervisedRun) probeAll() []int {
 // surviving; EC pairs span workers, so both ends must re-baseline — and
 // forces the next forward round exact.
 func (sv *supervisedRun) resetCluster(t int) {
-	for _, w := range sv.workers {
+	for _, w := range sv.cl.workerList() {
 		w.ResetSessionState()
 	}
-	for _, w := range sv.workers {
+	for _, w := range sv.cl.workerList() {
 		w.ForceExactSync()
 	}
 	sv.sup.Record(supervise.EventExactSync, -1, t, "EC state reset cluster-wide; next FP round exact")

@@ -449,8 +449,11 @@ func TestResumeForcesExactSync(t *testing.T) {
 
 // TestChaosSoak is the nightly chaos-soak: long supervised training under
 // sustained drops, injected errors and repeated crash windows, with
-// checkpoint-backed auto-rollback. Gated behind ECGRAPH_CHAOS_SOAK so the
-// ordinary test run stays fast; CI runs it on a schedule with -race.
+// checkpoint-backed auto-rollback — plus, since the cluster went elastic,
+// one scripted join and one permanent departure mid-run, so membership
+// transitions soak under the same faults as everything else. Gated behind
+// ECGRAPH_CHAOS_SOAK so the ordinary test run stays fast; CI runs it on a
+// schedule with -race.
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
@@ -472,7 +475,14 @@ func TestChaosSoak(t *testing.T) {
 	cfg.Supervise = sup
 	cfg.CheckpointPath = filepath.Join(t.TempDir(), "soak.ckpt")
 	cfg.CheckpointEvery = 5
-	nodes := cfg.Workers + cfg.Servers
+	// Membership churn rides along: a worker joins at epoch 20 (auto id 3,
+	// the slot above the boot roster), and the permanent departure below
+	// converts into a membership leave instead of an endless respawn loop.
+	cfg.Elastic = &ElasticOptions{
+		Plan:         []MembershipChange{{Epoch: 20, Join: true, Worker: -1}},
+		LeaveOnDeath: true,
+	}
+	nodes := cfg.Workers + 1 + cfg.Servers
 	inner := transport.NewInProc(nodes)
 	// Sustained drops and error responses come from the seeded per-pair
 	// chaos layer; the three whole-run outage windows sit above it on the
@@ -489,7 +499,12 @@ func TestChaosSoak(t *testing.T) {
 		{Node: 2, From: 4000, To: 4700},
 		{Node: 0, From: 9000, To: 9800},
 	}, trainingMethods())
-	cfg.Net = transport.NewReliable(outage, nodes, transport.ReliableConfig{
+	// Permanent departure of the epoch-20 joiner once the cluster has made
+	// ~320 parameter-server pushes (roughly epoch 45): the node goes dark
+	// for good and LeaveOnDeath retires it from the view it only just
+	// entered.
+	trigger := &departOnPush{Network: outage, chaos: chaos, node: 3, afterPushes: 320}
+	cfg.Net = transport.NewReliable(trigger, nodes, transport.ReliableConfig{
 		MaxAttempts: 3,
 		BaseBackoff: 50 * time.Microsecond,
 		MaxBackoff:  time.Millisecond,
@@ -508,6 +523,29 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("soak accuracy %.4f vs clean %.4f (|diff| %.4f > 0.03); %d recoveries",
 			res.TestAccuracy, clean.TestAccuracy, diff, res.Recoveries)
 	}
-	t.Logf("soak: %d recoveries, %d events, injected %+v, %d outage-crashed calls",
-		res.Recoveries, len(res.SuperviseEvents), chaos.Injected(), outage.crashed.Load())
+	// Membership invariants: the scripted join and the forced departure both
+	// produced view transitions for worker 3, it is gone from the final
+	// view, and every vertex still has exactly one live owner. (Transient
+	// outage windows may also have been retired under LeaveOnDeath if a
+	// window outlasted the probe budget, so the full roster is not pinned.)
+	var joined3, left3 bool
+	for _, ev := range res.MembershipEvents {
+		for _, id := range ev.Joined {
+			joined3 = joined3 || id == 3
+		}
+		for _, id := range ev.Left {
+			left3 = left3 || id == 3
+		}
+	}
+	if !joined3 || !left3 {
+		t.Fatalf("membership transitions missed the scripted churn (join3=%v leave3=%v): %+v",
+			joined3, left3, res.MembershipEvents)
+	}
+	if res.FinalView.Has(3) {
+		t.Fatalf("final view %v still contains the departed worker 3", res.FinalView)
+	}
+	assertSingleOwner(t, res, cfg.Dataset.Graph.N)
+	t.Logf("soak: %d recoveries, %d events, %d membership transitions, injected %+v, %d outage-crashed calls",
+		res.Recoveries, len(res.SuperviseEvents), len(res.MembershipEvents),
+		chaos.Injected(), outage.crashed.Load())
 }

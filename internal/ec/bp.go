@@ -52,6 +52,38 @@ func (r *BackwardResponder) Residual() *tensor.Matrix { return r.delta }
 // would inject stale error feedback, so it is deliberately discarded.
 func (r *BackwardResponder) Reset() { r.delta = nil }
 
+// ResidualRow returns a copy of row i of δ, or nil when no residual has
+// accumulated yet. Used by elastic state handoff: when a vertex changes
+// owners, its accumulated quantisation error moves with it so the error
+// feedback loop for that (vertex, requester) pair continues rather than
+// restarting from zero.
+func (r *BackwardResponder) ResidualRow(i int) []float32 {
+	if r.delta == nil || i < 0 || i >= r.delta.Rows {
+		return nil
+	}
+	return append([]float32(nil), r.delta.Row(i)...)
+}
+
+// SeedResidualRow installs row into position i of a (rows, cols)-shaped
+// residual, allocating δ as zeros first if the responder has never
+// responded — the import half of the handoff. Rows not seeded stay zero,
+// which is exactly the fresh-responder state they would have anyway.
+func (r *BackwardResponder) SeedResidualRow(rows, cols, i int, row []float32) {
+	if i < 0 || i >= rows || len(row) != cols {
+		panic(fmt.Sprintf("ec: seed residual row %d of (%d,%d) with %d values", i, rows, cols, len(row)))
+	}
+	if r.delta == nil {
+		r.delta = tensor.New(rows, cols)
+	}
+	if r.delta.Rows != rows || r.delta.Cols != cols {
+		// A residual of a different shape describes a pair list that no
+		// longer exists (the requester's needs changed with the topology);
+		// keeping it would misalign every row, so start over.
+		r.delta = tensor.New(rows, cols)
+	}
+	copy(r.delta.Row(i), row)
+}
+
 // TopKResponder is the Top-K-with-memory alternative to BackwardResponder
 // (Stich et al., the paper's reference [32]): the same error-feedback loop,
 // but the compressor keeps the k largest-magnitude elements of g + δ

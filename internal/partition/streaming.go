@@ -1,7 +1,9 @@
 package partition
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"ecgraph/internal/graph"
 )
@@ -73,4 +75,168 @@ func (l LDG) Partition(g *graph.Graph, k int) []int {
 		sizes[best]++
 	}
 	return parts
+}
+
+// Rebalance incrementally adapts an existing assignment to a roster change,
+// moving as few vertices as possible instead of repartitioning from
+// scratch: every move costs a state handoff (embeddings, residuals, ghost
+// caches), so cut quality is traded for stability. Unlike Partition, the
+// assignment values here are worker ids, not dense part indices — the
+// surviving workers keep their ids and their vertices.
+//
+// Two phases, both deterministic in Seed:
+//
+//  1. Evacuation. Vertices owned by leaving workers are streamed in seeded
+//     random order and placed LDG-style (most already-placed neighbours,
+//     damped by fill) across the new roster.
+//  2. Filling. Each joining worker below the balanced target pulls vertices
+//     from overloaded survivors, preferring vertices that gain more
+//     neighbour locality on the joiner than they lose at their current
+//     owner. Only survivors above target give up vertices, so an
+//     already-balanced cluster is never churned.
+//
+// active is the current roster; joining and leaving the announced changes
+// (leaving ⊆ active). Returns the new assignment and the sorted ids of the
+// vertices that moved. Panics if the new roster would be empty or a vertex
+// is owned by no one.
+func (l LDG) Rebalance(g *graph.Graph, assign []int, active, joining, leaving []int) ([]int, []int) {
+	if len(assign) != g.N {
+		panic(fmt.Sprintf("partition: assignment has %d entries for %d vertices", len(assign), g.N))
+	}
+	gone := make(map[int]bool, len(leaving))
+	for _, w := range leaving {
+		gone[w] = true
+	}
+	roster := make(map[int]bool, len(active)+len(joining))
+	for _, w := range active {
+		if !gone[w] {
+			roster[w] = true
+		}
+	}
+	for _, w := range joining {
+		if !gone[w] {
+			roster[w] = true
+		}
+	}
+	if len(roster) == 0 {
+		panic("partition: rebalance to an empty roster")
+	}
+	nodes := make([]int, 0, len(roster))
+	for w := range roster {
+		nodes = append(nodes, w)
+	}
+	sort.Ints(nodes)
+
+	imbalance := l.Imbalance
+	if imbalance == 0 {
+		imbalance = 0.05
+	}
+	capacity := float64(g.N)/float64(len(nodes))*(1+imbalance) + 1
+
+	next := append([]int(nil), assign...)
+	sizes := make(map[int]int, len(nodes))
+	var orphans []int
+	for v, w := range next {
+		if gone[w] {
+			orphans = append(orphans, v)
+			next[v] = -1
+		} else if roster[w] {
+			sizes[w]++
+		} else {
+			panic(fmt.Sprintf("partition: vertex %d owned by %d, which is neither active nor leaving", v, w))
+		}
+	}
+
+	// Phase 1: stream the orphans in seeded random order; each goes to the
+	// roster node holding the most of its already-settled neighbours,
+	// damped by fill, ascending id on ties.
+	rng := rand.New(rand.NewSource(l.Seed + 13))
+	for _, i := range rng.Perm(len(orphans)) {
+		v := orphans[i]
+		nc := make(map[int]int)
+		for _, u := range g.Neighbors(v) {
+			if p := next[u]; p >= 0 {
+				nc[p]++
+			}
+		}
+		best, bestScore := -1, -1.0
+		for _, w := range nodes {
+			if float64(sizes[w]) >= capacity {
+				continue
+			}
+			score := float64(nc[w]+1) * (1 - float64(sizes[w])/capacity)
+			if score > bestScore {
+				best, bestScore = w, score
+			}
+		}
+		if best == -1 {
+			for _, w := range nodes {
+				if best == -1 || sizes[w] < sizes[best] {
+					best = w
+				}
+			}
+		}
+		next[v] = best
+		sizes[best]++
+	}
+
+	// Phase 2: pull vertices onto joiners still below the balanced target.
+	target := g.N / len(nodes)
+	for _, j := range joining {
+		if !roster[j] {
+			continue
+		}
+		need := target - sizes[j]
+		if need <= 0 {
+			continue
+		}
+		type candidate struct {
+			v    int
+			gain int // joiner-local neighbours minus owner-local neighbours
+		}
+		var cands []candidate
+		for v, w := range next {
+			if w == j || sizes[w] <= target {
+				continue
+			}
+			onJoiner, onOwner := 0, 0
+			for _, u := range g.Neighbors(v) {
+				switch next[u] {
+				case j:
+					onJoiner++
+				case w:
+					onOwner++
+				}
+			}
+			cands = append(cands, candidate{v: v, gain: onJoiner - onOwner})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].gain != cands[b].gain {
+				return cands[a].gain > cands[b].gain
+			}
+			return cands[a].v < cands[b].v
+		})
+		for _, c := range cands {
+			if need == 0 {
+				break
+			}
+			w := next[c.v]
+			if sizes[w] <= target {
+				continue // its owner was drained to target by earlier picks
+			}
+			next[c.v] = j
+			sizes[w]--
+			sizes[j]++
+			need--
+		}
+	}
+
+	var moved []int
+	for v := range next {
+		if next[v] != assign[v] {
+			moved = append(moved, v)
+		}
+	}
+	sort.Ints(moved)
+	return next, moved
 }

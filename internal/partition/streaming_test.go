@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
 )
 
 func TestLDGAssignmentValidAndBalanced(t *testing.T) {
@@ -97,5 +98,137 @@ func BenchmarkLDGPartition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		LDG{}.Partition(d.Graph, 6)
+	}
+}
+
+// rebalanceCheck asserts the invariants every rebalance must hold: all
+// vertices owned by roster members, the moved list exactly the changed
+// vertices, and survivors' unchanged vertices untouched.
+func rebalanceCheck(t *testing.T, old, next []int, moved []int, roster map[int]bool) {
+	t.Helper()
+	movedSet := make(map[int]bool, len(moved))
+	for _, v := range moved {
+		movedSet[v] = true
+	}
+	for v := range next {
+		if !roster[next[v]] {
+			t.Fatalf("vertex %d assigned to non-member %d", v, next[v])
+		}
+		if (next[v] != old[v]) != movedSet[v] {
+			t.Fatalf("moved list wrong at vertex %d: old %d new %d, listed %v",
+				v, old[v], next[v], movedSet[v])
+		}
+	}
+}
+
+func TestRebalanceJoinAndLeave(t *testing.T) {
+	g := randomGraph(3, 200, 800)
+	active := []int{0, 1, 2, 3}
+	old := LDG{Seed: 3}.Partition(g, len(active))
+	next, moved := LDG{Seed: 3}.Rebalance(g, old, active, []int{4, 5}, []int{1})
+	roster := map[int]bool{0: true, 2: true, 3: true, 4: true, 5: true}
+	rebalanceCheck(t, old, next, moved, roster)
+	sizes := make(map[int]int)
+	for _, w := range next {
+		sizes[w]++
+	}
+	target := g.N / len(roster)
+	for w := range roster {
+		if sizes[w] < target-target/2 || sizes[w] > target+target/2+2 {
+			t.Fatalf("node %d has %d vertices, target %d: %v", w, sizes[w], target, sizes)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("a join+leave with no moves cannot be balanced")
+	}
+}
+
+// TestRebalanceEmptyShard: a leaver that owns nothing must be removable
+// without any vertex moving.
+func TestRebalanceEmptyShard(t *testing.T) {
+	g := randomGraph(5, 60, 120)
+	// Assign everything to workers 0 and 1; worker 2 is active but empty.
+	old := make([]int, g.N)
+	for v := range old {
+		old[v] = v % 2
+	}
+	next, moved := LDG{Seed: 5}.Rebalance(g, old, []int{0, 1, 2}, nil, []int{2})
+	if len(moved) != 0 {
+		t.Fatalf("removing an empty shard moved %d vertices", len(moved))
+	}
+	rebalanceCheck(t, old, next, moved, map[int]bool{0: true, 1: true})
+}
+
+// TestRebalanceSingleVertexShard: evacuating a one-vertex shard moves
+// exactly that vertex, to the survivor holding its neighbours.
+func TestRebalanceSingleVertexShard(t *testing.T) {
+	// Path 0-1-2-3; vertex 3 alone on worker 2, its neighbour 2 on worker 1.
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	old := []int{0, 0, 1, 2}
+	next, moved := LDG{Seed: 1}.Rebalance(g, old, []int{0, 1, 2}, nil, []int{2})
+	if len(moved) != 1 || moved[0] != 3 {
+		t.Fatalf("moved %v, want exactly vertex 3", moved)
+	}
+	if next[3] != 1 {
+		t.Fatalf("vertex 3 placed on %d, want 1 (its neighbour's owner)", next[3])
+	}
+	rebalanceCheck(t, old, next, moved, map[int]bool{0: true, 1: true})
+}
+
+// TestRebalanceHubMove: on a power-law star, pulling vertices onto a joiner
+// prefers leaves over the hub — the hub loses every spoke's locality if it
+// moves, so its gain score is the worst in the shard.
+func TestRebalanceHubMove(t *testing.T) {
+	// Star: hub 0 with spokes 1..19, all on worker 0; worker 1 owns a
+	// disconnected clique 20..39 so only worker 0 is overloaded... both own
+	// 20, so make worker 0 own the star plus some isolated extras.
+	n := 40
+	var edges [][2]int32
+	for s := 1; s < 20; s++ {
+		edges = append(edges, [2]int32{0, int32(s)})
+	}
+	g := graph.FromEdges(n, edges)
+	old := make([]int, n)
+	for v := 20; v < n; v++ {
+		old[v] = 1
+	}
+	next, moved := LDG{Seed: 9}.Rebalance(g, old, []int{0, 1}, []int{2}, nil)
+	rebalanceCheck(t, old, next, moved, map[int]bool{0: true, 1: true, 2: true})
+	if next[0] != 0 {
+		t.Fatalf("hub moved to %d; joiners must pull leaves, not hubs", next[0])
+	}
+	if len(moved) == 0 {
+		t.Fatal("joiner received nothing")
+	}
+	for _, v := range moved {
+		if next[v] != 2 {
+			t.Fatalf("vertex %d moved between survivors (%d -> %d); only the joiner should receive", v, old[v], next[v])
+		}
+	}
+}
+
+func TestRebalanceDeterministicForSeed(t *testing.T) {
+	g := randomGraph(11, 300, 1200)
+	old := LDG{Seed: 11}.Partition(g, 4)
+	a1, m1 := LDG{Seed: 42}.Rebalance(g, old, []int{0, 1, 2, 3}, []int{4}, []int{0})
+	a2, m2 := LDG{Seed: 42}.Rebalance(g, old, []int{0, 1, 2, 3}, []int{4}, []int{0})
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatalf("same seed diverged at vertex %d: %d vs %d", v, a1[v], a2[v])
+		}
+	}
+	if len(m1) != len(m2) {
+		t.Fatalf("moved lists differ: %d vs %d", len(m1), len(m2))
+	}
+	b1, _ := LDG{Seed: 43}.Rebalance(g, old, []int{0, 1, 2, 3}, []int{4}, []int{0})
+	same := true
+	for v := range a1 {
+		if a1[v] != b1[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("warning: different seeds produced identical rebalances (possible but unlikely)")
 	}
 }

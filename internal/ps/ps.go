@@ -216,6 +216,33 @@ func (s *Server) push(version, worker int, grads []float32) error {
 	return nil
 }
 
+// SetExpected changes how many distinct workers must push before the
+// barrier fires — the elastic-membership hook, called by the engine at a
+// view-change boundary when workers join or leave mid-training.
+//
+// Any buffered contributions for the current version are discarded: a view
+// change re-runs the in-flight epoch under the new roster, and the new
+// assignment covers every vertex exactly once, so gradients pushed under
+// the old roster would double-count the vertices that moved. A version the
+// barrier already applied is untouched — retried pushes against it are
+// acknowledged as stale, exactly like the crash-recovery path.
+func (s *Server) SetExpected(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("ps: expected workers must be positive, got %d", n))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expected = n
+	s.contribs = make(map[int][]float32)
+}
+
+// Expected returns the current barrier width (workers per epoch).
+func (s *Server) Expected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expected
+}
+
 // State is a serialisable snapshot of one server's range: the parameters,
 // the Adam moments and timestep, the (possibly decayed) learning rate and
 // the applied-update count. Checkpoints concatenate per-range states in

@@ -28,20 +28,17 @@ func (s *Supervisor) RegisterMetrics(reg *obs.Registry) {
 		"Phi-accrual suspicion level per worker.", "worker")
 	status := reg.GaugeVec("ecgraph_supervise_status",
 		"Detector verdict per worker: 0 healthy, 1 suspect, 2 dead.", "worker")
-	type handles struct{ phi, status *obs.Gauge }
-	hs := make([]handles, len(s.workers))
-	for i, w := range s.workers {
-		n := strconv.Itoa(w)
-		hs[i] = handles{phi: phi.With(n), status: status.With(n)}
-	}
-	workers := append([]int(nil), s.workers...)
 	det := s.det
 	reg.OnScrapeNamed("supervise", func() {
-		for i, w := range workers {
-			hs[i].phi.Set(det.Phi(w))
+		// The roster is read per scrape, not snapshotted at registration:
+		// under elastic membership workers join and leave mid-run, and a
+		// joiner's phi must appear without re-registering the metrics.
+		for _, w := range s.Workers() {
+			n := strconv.Itoa(w)
+			phi.With(n).Set(det.Phi(w))
 			// The raw detector verdict, not Supervisor.Status: a scrape must
 			// observe state, never append to the supervision log.
-			hs[i].status.Set(float64(det.Status(w)))
+			status.With(n).Set(float64(det.Status(w)))
 		}
 	})
 }

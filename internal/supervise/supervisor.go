@@ -2,6 +2,7 @@ package supervise
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -134,6 +135,17 @@ const (
 	EventGuardTrip
 	// EventRecovered: an epoch completed after one or more recoveries.
 	EventRecovered
+	// EventJoin: a worker announced it is joining the cluster.
+	EventJoin
+	// EventLeave: a worker announced a planned drain, or was forced out
+	// after phi-detected permanent death.
+	EventLeave
+	// EventViewChange: the cluster transitioned to a new membership view
+	// at an epoch boundary.
+	EventViewChange
+	// EventHandoff: vertex state (embeddings, EC residuals, caches) was
+	// shipped from an old owner to a new one during a view transition.
+	EventHandoff
 )
 
 // String implements fmt.Stringer.
@@ -157,6 +169,14 @@ func (k EventKind) String() string {
 		return "guard-trip"
 	case EventRecovered:
 		return "recovered"
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventViewChange:
+		return "view-change"
+	case EventHandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -198,17 +218,20 @@ type Supervisor struct {
 	opts    Options
 	net     transport.Network
 	lat     latencySource // nil when the transport keeps no latency stats
-	workers []int
 	monitor int
 	det     *Detector
 
 	mu       sync.Mutex
+	workers  []int // current roster, ascending; updated by SetWorkers
 	events   []Event
 	reported map[int]Status // last status change already logged per worker
 
-	emitStop chan struct{}
+	// One emitter goroutine per roster member, each with its own stop
+	// channel so membership changes can start and stop them individually.
+	running  bool
+	emitters map[int]chan struct{}
 	emitWG   sync.WaitGroup
-	beats    []countingBeat
+	beats    map[int]*countingBeat
 
 	// Telemetry counters, set by RegisterMetrics; nil handles no-op.
 	eventsTotal *obs.CounterVec
@@ -235,7 +258,8 @@ func New(opts Options, net transport.Network, workerNodes []int, monitorNode int
 			PhiDead:           opts.PhiDead,
 		}),
 		reported: make(map[int]Status),
-		beats:    make([]countingBeat, len(workerNodes)),
+		emitters: make(map[int]chan struct{}),
+		beats:    make(map[int]*countingBeat),
 	}
 	if l, ok := net.(latencySource); ok {
 		s.lat = l
@@ -275,64 +299,138 @@ func (s *Supervisor) WrapHandler(inner transport.Handler) transport.Handler {
 // every transport wrapper (chaos, retries, TCP) as worker traffic and a
 // partitioned worker goes silent exactly like its ghost exchanges do.
 func (s *Supervisor) Start() {
-	if s.emitStop != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
 		return
 	}
-	s.emitStop = make(chan struct{})
-	for i, node := range s.workers {
-		s.emitWG.Add(1)
-		go func(i, node int) {
-			defer s.emitWG.Done()
-			ticker := time.NewTicker(s.opts.HeartbeatInterval)
-			defer ticker.Stop()
-			var seq uint32
-			for {
-				select {
-				case <-s.emitStop:
-					return
-				case <-ticker.C:
-				}
-				seq++
-				w := transport.NewWriter(8)
-				w.Int32(int32(node))
-				w.Uint32(seq)
-				if _, err := s.net.Call(node, s.monitor, MethodBeat, w.Bytes()); err != nil {
-					s.addBeat(i, false)
-				} else {
-					s.addBeat(i, true)
-				}
+	s.running = true
+	for _, node := range s.workers {
+		s.startEmitterLocked(node)
+	}
+}
+
+// startEmitterLocked spawns the heartbeat emitter for one node; the caller
+// holds s.mu and has checked s.running.
+func (s *Supervisor) startEmitterLocked(node int) {
+	if _, ok := s.emitters[node]; ok {
+		return
+	}
+	stop := make(chan struct{})
+	s.emitters[node] = stop
+	s.emitWG.Add(1)
+	go func() {
+		defer s.emitWG.Done()
+		ticker := time.NewTicker(s.opts.HeartbeatInterval)
+		defer ticker.Stop()
+		var seq uint32
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
 			}
-		}(i, node)
-	}
+			seq++
+			w := transport.NewWriter(8)
+			w.Int32(int32(node))
+			w.Uint32(seq)
+			if _, err := s.net.Call(node, s.monitor, MethodBeat, w.Bytes()); err != nil {
+				s.addBeat(node, false)
+			} else {
+				s.addBeat(node, true)
+			}
+		}
+	}()
 }
 
-func (s *Supervisor) addBeat(i int, ok bool) {
+func (s *Supervisor) addBeat(node int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	b := s.beats[node]
+	if b == nil {
+		b = &countingBeat{}
+		s.beats[node] = b
+	}
 	if ok {
-		s.beats[i].sent++
+		b.sent++
 	} else {
-		s.beats[i].failed++
+		b.failed++
 	}
 }
 
-// BeatCounts returns how many heartbeats the worker's emitter delivered
-// and how many failed in transit — test and log diagnostics.
-func (s *Supervisor) BeatCounts(workerIdx int) (sent, failed int64) {
+// BeatCounts returns how many heartbeats the worker node's emitter
+// delivered and how many failed in transit — test and log diagnostics.
+func (s *Supervisor) BeatCounts(node int) (sent, failed int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b := s.beats[workerIdx]
+	b := s.beats[node]
+	if b == nil {
+		return 0, 0
+	}
 	return b.sent, b.failed
 }
 
 // Stop terminates the heartbeat emitters and waits for them to exit.
 func (s *Supervisor) Stop() {
-	if s.emitStop == nil {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
 		return
 	}
-	close(s.emitStop)
+	s.running = false
+	for node, stop := range s.emitters {
+		close(stop)
+		delete(s.emitters, node)
+	}
+	s.mu.Unlock()
 	s.emitWG.Wait()
-	s.emitStop = nil
+}
+
+// Workers returns the current roster (ascending node ids).
+func (s *Supervisor) Workers() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.workers...)
+}
+
+// SetWorkers transitions the supervisor to a new roster at a membership
+// view change: joined nodes are registered with the failure detector and
+// get heartbeat emitters (when the supervisor is running); departed nodes'
+// emitters stop and their logged-status memory clears, so a node id reused
+// by a later join starts with a clean healthy record. The detector keeps
+// the departed node's history — it is simply never consulted again unless
+// the node rejoins, at which point Register resets it.
+func (s *Supervisor) SetWorkers(nodes []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		next[n] = true
+	}
+	current := make(map[int]bool, len(s.workers))
+	for _, n := range s.workers {
+		current[n] = true
+	}
+	for _, n := range nodes {
+		if !current[n] {
+			s.det.Register(n)
+			delete(s.reported, n)
+			if s.running {
+				s.startEmitterLocked(n)
+			}
+		}
+	}
+	for _, n := range s.workers {
+		if !next[n] {
+			if stop, ok := s.emitters[n]; ok {
+				close(stop)
+				delete(s.emitters, n)
+			}
+			delete(s.reported, n)
+		}
+	}
+	s.workers = append(s.workers[:0], nodes...)
+	sort.Ints(s.workers)
 }
 
 // Status returns the detector's verdict for a worker, logging
@@ -357,10 +455,10 @@ func (s *Supervisor) Status(worker int) Status {
 	return st
 }
 
-// Dead returns the workers the detector currently declares dead.
+// Dead returns the roster members the detector currently declares dead.
 func (s *Supervisor) Dead() []int {
 	var out []int
-	for _, w := range s.workers {
+	for _, w := range s.Workers() {
 		if s.Status(w) == StatusDead {
 			out = append(out, w)
 		}

@@ -26,6 +26,18 @@ type CrashWindow struct {
 	From, To int64
 }
 
+// Departure takes a node permanently offline once each (src,dst) pair's
+// call sequence reaches After: every later call touching Node fails, and —
+// unlike a CrashWindow — the fault never heals, modelling a machine that is
+// decommissioned or lost for good. Per-pair sequencing keeps the schedule
+// deterministic under concurrency, the same guarantee crash windows give;
+// pairs reach After independently, so the node "goes dark" edge by edge the
+// way a real departure propagates through a cluster.
+type Departure struct {
+	Node  int
+	After int64
+}
+
 // ChaosConfig parameterises fault injection. All rates are probabilities in
 // [0, 1]; decisions are drawn from a hash of (Seed, src, dst, per-pair call
 // sequence), so a fixed seed reproduces the exact same per-pair fault
@@ -44,6 +56,9 @@ type ChaosConfig struct {
 	Latency     time.Duration
 	// Crash lists per-node outage windows over each pair's call sequence.
 	Crash []CrashWindow
+	// Departures lists nodes that leave permanently once each pair's call
+	// sequence passes After; see Departure.
+	Departures []Departure
 	// Methods, when non-empty, restricts injection to calls whose method
 	// name is listed — e.g. only ghost exchanges, leaving the parameter
 	// server path clean. Empty means every remote call is eligible.
@@ -52,7 +67,7 @@ type ChaosConfig struct {
 
 // ChaosStats counts the faults the wrapper has injected since creation.
 type ChaosStats struct {
-	Drops, Errors, Spikes, CrashedCalls int64
+	Drops, Errors, Spikes, CrashedCalls, DepartedCalls int64
 }
 
 // FaultEvent records one injected fault for determinism auditing.
@@ -88,22 +103,47 @@ type Chaos struct {
 	logMu sync.Mutex
 	log   []FaultEvent
 
-	drops, errs, spikes, crashed atomic.Int64
+	// departed holds nodes taken offline at runtime via Depart, on top of
+	// the deterministic cfg.Departures schedule.
+	depMu    sync.Mutex
+	departed map[int]bool
+
+	drops, errs, spikes, crashed, departs atomic.Int64
 }
 
 // NewChaos wraps inner with the given fault configuration.
 func NewChaos(inner Network, cfg ChaosConfig) *Chaos {
-	return &Chaos{inner: inner, cfg: cfg, pairSeq: make(map[[2]int]*atomic.Int64)}
+	return &Chaos{inner: inner, cfg: cfg, pairSeq: make(map[[2]int]*atomic.Int64), departed: make(map[int]bool)}
 }
 
 // Injected returns a snapshot of the injected-fault counters.
 func (c *Chaos) Injected() ChaosStats {
 	return ChaosStats{
-		Drops:        c.drops.Load(),
-		Errors:       c.errs.Load(),
-		Spikes:       c.spikes.Load(),
-		CrashedCalls: c.crashed.Load(),
+		Drops:         c.drops.Load(),
+		Errors:        c.errs.Load(),
+		Spikes:        c.spikes.Load(),
+		CrashedCalls:  c.crashed.Load(),
+		DepartedCalls: c.departs.Load(),
 	}
+}
+
+// Depart takes a node permanently offline from this moment on — the
+// scripted-at-runtime counterpart of ChaosConfig.Departures, for tests that
+// trigger a departure at a known training phase rather than a call count.
+// Calls faulted this way still land in the FaultLog with kind "depart", but
+// their onset is wall-clock-relative, so only the config form is replayable
+// byte-for-byte across runs.
+func (c *Chaos) Depart(node int) {
+	c.depMu.Lock()
+	c.departed[node] = true
+	c.depMu.Unlock()
+}
+
+// isDeparted reports whether node was taken offline via Depart.
+func (c *Chaos) isDeparted(node int) bool {
+	c.depMu.Lock()
+	defer c.depMu.Unlock()
+	return c.departed[node]
 }
 
 // FaultLog returns the injected fault events in canonical order — sorted by
@@ -183,12 +223,63 @@ func (c *Chaos) eligible(method string) bool {
 	return false
 }
 
+// departedNode returns the departed endpoint of the pair, if any: a node
+// taken offline via Depart, or one whose cfg.Departures onset the pair's
+// sequence has reached by position n.
+func (c *Chaos) departedNode(src, dst int, n int64) (int, bool) {
+	for _, d := range c.cfg.Departures {
+		if (d.Node == src || d.Node == dst) && n >= d.After {
+			return d.Node, true
+		}
+	}
+	if c.isDeparted(src) {
+		return src, true
+	}
+	if c.isDeparted(dst) {
+		return dst, true
+	}
+	return 0, false
+}
+
+// peekPairSeq reads a pair's sequence without advancing it.
+func (c *Chaos) peekPairSeq(src, dst int) int64 {
+	c.mu.Lock()
+	ctr := c.pairSeq[[2]int{src, dst}]
+	c.mu.Unlock()
+	if ctr == nil {
+		return 0
+	}
+	return ctr.Load()
+}
+
 // Call implements Network.
 func (c *Chaos) Call(src, dst int, method string, req []byte) ([]byte, error) {
-	if src == dst || !c.eligible(method) {
+	if src == dst {
+		return c.inner.Call(src, dst, method, req)
+	}
+	if !c.eligible(method) {
+		// Departures outlive the Methods filter: a gone machine fails every
+		// remote call, liveness probes included — otherwise the supervision
+		// layer would see a node that answers pings but serves nothing.
+		// These failures are not logged: the pair sequence only advances with
+		// eligible calls, so logging them would interleave nondeterministic
+		// positions into the FaultLog.
+		if node, gone := c.departedNode(src, dst, c.peekPairSeq(src, dst)); gone {
+			c.departs.Add(1)
+			return nil, fmt.Errorf("chaos: node %d departed: %w", node, ErrInjected)
+		}
 		return c.inner.Call(src, dst, method, req)
 	}
 	n := c.nextPairSeq(src, dst)
+	// Departures outrank every other fault: a gone node is gone. The check
+	// runs after the pair sequence advances so the FaultLog entry carries a
+	// deterministic per-pair position, distinguishable from crash-window
+	// entries by its "depart" kind and by never healing.
+	if node, gone := c.departedNode(src, dst, n); gone {
+		c.departs.Add(1)
+		c.record(src, dst, n, "depart", method)
+		return nil, fmt.Errorf("chaos: node %d departed (pair call %d): %w", node, n, ErrInjected)
+	}
 	for _, w := range c.cfg.Crash {
 		if (w.Node == src || w.Node == dst) && n >= w.From && n < w.To {
 			c.crashed.Add(1)

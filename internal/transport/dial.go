@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+)
+
+// DialCall performs a single request against a TCPCluster listener at addr
+// from outside the cluster: dial, one request frame, one response frame,
+// hang up. It speaks the same wire format as TCPCluster's pooled
+// connections, so an external process can hit any RPC a node serves — the
+// membership plane in particular, where a joining machine announces itself
+// to a running cluster's monitor before it is part of any node table.
+func DialCall(addr, method string, req []byte) ([]byte, error) {
+	if len(method) > 255 {
+		return nil, fmt.Errorf("transport: method name of %d bytes exceeds frame limit", len(method))
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return nil, err
+	}
+
+	frame := make([]byte, 4+1+len(method)+len(req))
+	binary.LittleEndian.PutUint32(frame, 1) // request id; one in flight
+	frame[4] = byte(len(method))
+	copy(frame[5:], method)
+	copy(frame[5+len(method):], req)
+	if err := writeFrame(conn, frame); err != nil {
+		return nil, fmt.Errorf("transport: call %s %s: %w", addr, method, err)
+	}
+
+	payload, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: call %s %s: %w", addr, method, err)
+	}
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("transport: call %s %s: short response frame", addr, method)
+	}
+	if payload[4] != 0 {
+		return nil, fmt.Errorf("transport: call %s %s: remote error: %s", addr, method, payload[5:])
+	}
+	return payload[5:], nil
+}

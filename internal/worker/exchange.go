@@ -593,6 +593,15 @@ func (w *Worker) Handler() transport.Handler {
 				return nil, fmt.Errorf("worker %d: bad BP scheme %v", w.id, w.cfg.Opts.BPScheme)
 			}
 
+		case MethodHandoff:
+			n, err := w.ImportHandoff(req)
+			if err != nil {
+				return nil, err
+			}
+			out := transport.NewWriter(4)
+			out.Int32(int32(n))
+			return out.Bytes(), nil
+
 		case MethodLogits:
 			t := int(r.Uint32())
 			ids, logits := w.Logits(t)

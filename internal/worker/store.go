@@ -59,6 +59,15 @@ func (s *matStore) Reset() {
 	s.cond.Broadcast()
 }
 
+// Peek returns the currently published matrix and epoch tag for layer
+// without blocking; (nil, -1) when never published. Used by view-change
+// state handoff to read the previous incarnation's last rows.
+func (s *matStore) Peek(layer int) (*tensor.Matrix, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mats[layer], s.epoch[layer]
+}
+
 // Wait blocks until layer is published for epoch and returns the matrix.
 func (s *matStore) Wait(layer, epoch int) *tensor.Matrix {
 	s.mu.Lock()

@@ -205,6 +205,13 @@ type Worker struct {
 	// DistGNN delayed-aggregation ghost caches per layer.
 	ghostHCache []*tensor.Matrix
 
+	// handoffH holds H rows received by view-change handoff for vertices
+	// this worker now owns but has never computed locally, per layer and
+	// global vertex id. Served on re-export (a double move with no epoch in
+	// between); superseded by ownH as soon as an epoch runs. Nil until the
+	// first import.
+	handoffH []map[int32][]float32
+
 	// Degraded-mode state: the last successfully fetched ghost rows per
 	// (layer, owning peer) and the epoch they arrived, bounding how stale a
 	// served fallback may be. Only the epoch goroutine touches these.
