@@ -55,12 +55,14 @@ func main() {
 		epochs  = flag.Int("epochs", 20, "training epochs")
 		bits    = flag.Int("bits", 2, "compression bits for both directions")
 
-		chaosDrop  = flag.Float64("chaos-drop", 0, "probability a remote call is dropped")
-		chaosErr   = flag.Float64("chaos-err", 0, "probability a remote call gets an injected error response")
-		chaosSpike = flag.Float64("chaos-spike", 0, "probability a remote call is delayed by -chaos-latency")
-		chaosLat   = flag.Duration("chaos-latency", 5*time.Millisecond, "latency spike duration")
-		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for reproducible fault injection")
-		chaosCrash = flag.String("chaos-crash", "", "crash window node:from:to over each (src,dst) pair's own call sequence (comma-separated for several)")
+		chaosDrop    = flag.Float64("chaos-drop", 0, "probability a remote call is dropped")
+		chaosErr     = flag.Float64("chaos-err", 0, "probability a remote call gets an injected error response")
+		chaosSpike   = flag.Float64("chaos-spike", 0, "probability a remote call is delayed by -chaos-latency")
+		chaosLat     = flag.Duration("chaos-latency", 5*time.Millisecond, "latency spike duration")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for reproducible fault injection")
+		chaosCrash   = flag.String("chaos-crash", "", "crash window node:from:to over each (src,dst) pair's own call sequence (comma-separated for several)")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability a remote call fails its payload checksum (simulated detected frame corruption)")
+		killPS       = flag.String("kill-ps", "", "scripted parameter-server kill, epoch:range — the primary of that range departs permanently at the top of that epoch (requires -ps-failover)")
 
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
 		attempts    = flag.Int("max-attempts", 4, "attempts per call, first try included")
@@ -72,6 +74,8 @@ func main() {
 		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
 		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
 		autoRollback = flag.Bool("auto-rollback", false, "roll back and replay when recovery fails or a numeric guard trips (implies -supervise)")
+		psReplicas   = flag.Int("ps-replicas", 0, "hot-standby replicas per parameter-server range (0 or 1); each backup gets its own node")
+		psFailover   = flag.Bool("ps-failover", false, "promote a range's backup when its primary dies, re-electing the monitor if needed (requires -supervise and -ps-replicas 1)")
 
 		elasticSlots = flag.Int("elastic-slots", 0, "reserve this many extra worker node ids for live joins announced over TCP (enables elastic membership)")
 		joinAddr     = flag.String("join-addr", "", "announce membership against a running cluster's monitor at this TCP address, print the returned view, and exit")
@@ -136,10 +140,24 @@ func main() {
 		}
 		defer events.Close()
 	}
+	if *psReplicas < 0 || *psReplicas > 1 {
+		fail(fmt.Errorf("-ps-replicas must be 0 or 1"))
+	}
+	if *psFailover && !*supervised && !*autoRollback {
+		fail(fmt.Errorf("-ps-failover requires -supervise (PS death detection lives in the supervisor)"))
+	}
+	if *psFailover && *psReplicas < 1 {
+		fail(fmt.Errorf("-ps-failover requires -ps-replicas 1 (promotion needs a backup)"))
+	}
+	if *killPS != "" && !*psFailover {
+		fail(fmt.Errorf("-kill-ps requires -ps-failover, or the run just dies with its server"))
+	}
 	// Elastic hosting reserves transport slots for joiners up front; the
 	// membership monitor is the first parameter server, at node maxWorkers.
+	// Node layout: workers (and join slots), then PS primaries, then PS
+	// backups, so replicas never collide with the worker id space.
 	maxWorkers := *workers + *elasticSlots
-	nodes := maxWorkers + *servers
+	nodes := maxWorkers + *servers*(1+*psReplicas)
 	tcp, err := transport.NewTCPCluster(nodes)
 	if err != nil {
 		fail(err)
@@ -168,7 +186,10 @@ func main() {
 		transport.WithNodes(nodes),
 		transport.WithMetrics(reg),
 	}
-	chaotic := *chaosDrop > 0 || *chaosErr > 0 || *chaosSpike > 0 || *chaosCrash != ""
+	// A scripted PS kill rides on the chaos layer's runtime Depart, so it
+	// forces the layer into the stack even with every rate at zero.
+	chaotic := *chaosDrop > 0 || *chaosErr > 0 || *chaosSpike > 0 || *chaosCorrupt > 0 ||
+		*chaosCrash != "" || *killPS != ""
 	if chaotic {
 		ccfg := transport.ChaosConfig{
 			Seed:        *chaosSeed,
@@ -176,6 +197,7 @@ func main() {
 			ErrorRate:   *chaosErr,
 			LatencyRate: *chaosSpike,
 			Latency:     *chaosLat,
+			CorruptRate: *chaosCorrupt,
 		}
 		if *chaosCrash != "" {
 			for _, s := range strings.Split(*chaosCrash, ",") {
@@ -187,24 +209,53 @@ func main() {
 			}
 		}
 		opts = append(opts, transport.WithChaos(ccfg))
-		fmt.Printf("chaos enabled: drop %.2f, err %.2f, spike %.2f (%v), seed %d, crash %q\n",
-			*chaosDrop, *chaosErr, *chaosSpike, *chaosLat, *chaosSeed, *chaosCrash)
+		fmt.Printf("chaos enabled: drop %.2f, err %.2f, spike %.2f (%v), corrupt %.2f, seed %d, crash %q\n",
+			*chaosDrop, *chaosErr, *chaosSpike, *chaosLat, *chaosCorrupt, *chaosSeed, *chaosCrash)
 	}
 	stack := transport.NewStack(tcp, opts...)
 	fmt.Printf("transport: %s\n", stack)
 
+	// Parse -kill-ps into an epoch hook that departs the doomed primary at
+	// the top of its epoch. The hook fires on replays too, so it latches.
+	var epochHook func(int)
+	if *killPS != "" {
+		parts := strings.Split(*killPS, ":")
+		bad := len(parts) != 2
+		var killEpoch, killRange int
+		if !bad {
+			var err1, err2 error
+			killEpoch, err1 = strconv.Atoi(parts[0])
+			killRange, err2 = strconv.Atoi(parts[1])
+			bad = err1 != nil || err2 != nil || killEpoch < 0 || killRange < 0 || killRange >= *servers
+		}
+		if bad {
+			fail(fmt.Errorf("-kill-ps %q: want epoch:range with range < %d", *killPS, *servers))
+		}
+		chaos, victim, done := stack.Chaos(), maxWorkers+killRange, false
+		epochHook = func(t int) {
+			if t == killEpoch && !done {
+				done = true
+				fmt.Printf("kill-ps: departing node %d (primary of range %d) at epoch %d\n", victim, killRange, t)
+				chaos.Depart(victim)
+			}
+		}
+	}
+
 	cfg := core.Config{
-		Dataset: d,
-		Kind:    nn.KindGCN,
-		Hidden:  []int{16},
-		Workers: *workers,
-		Servers: *servers,
-		Epochs:  *epochs,
-		LR:      0.01,
-		Seed:    1,
-		Net:     stack,
-		Metrics: reg,
-		Events:  events,
+		Dataset:    d,
+		Kind:       nn.KindGCN,
+		Hidden:     []int{16},
+		Workers:    *workers,
+		Servers:    *servers,
+		Epochs:     *epochs,
+		LR:         0.01,
+		Seed:       1,
+		Net:        stack,
+		Metrics:    reg,
+		Events:     events,
+		PSReplicas: *psReplicas,
+		PSFailover: *psFailover,
+		EpochHook:  epochHook,
 		Worker: worker.Options{
 			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
 			FPBits: *bits, BPBits: *bits, Ttr: 10,
@@ -222,6 +273,10 @@ func main() {
 			AutoRollback:      *autoRollback,
 		}
 		fmt.Printf("supervision enabled: heartbeat %v, auto-rollback %v\n", *heartbeat, *autoRollback)
+	}
+	if *psReplicas > 0 {
+		fmt.Printf("ps tier: primaries on nodes %d..%d, hot standbys on nodes %d..%d, failover %v\n",
+			maxWorkers, maxWorkers+*servers-1, maxWorkers+*servers, nodes-1, *psFailover)
 	}
 
 	res, err := core.Train(cfg)
@@ -242,8 +297,8 @@ func main() {
 		*epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
 	if chaotic {
 		inj := stack.Stats().Injected
-		fmt.Printf("injected: %d drops, %d errors, %d spikes, %d crashed calls\n",
-			inj.Drops, inj.Errors, inj.Spikes, inj.CrashedCalls)
+		fmt.Printf("injected: %d drops, %d errors, %d spikes, %d corrupts, %d crashed calls, %d departed calls\n",
+			inj.Drops, inj.Errors, inj.Spikes, inj.Corrupts, inj.CrashedCalls, inj.DepartedCalls)
 		fmt.Printf("recovered: %d retries, %d timeouts, %d give-ups, %d degraded ghost fetches (%d straggler skips)\n",
 			retries, timeouts, giveups, degraded, skips)
 	}

@@ -144,6 +144,9 @@ func main() {
 		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
 		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
 		autoRollback = flag.Bool("auto-rollback", false, "roll back to the latest checkpoint and replay when recovery fails or a numeric guard trips (implies -supervise)")
+
+		psReplicas = flag.Int("ps-replicas", 0, "hot-standby replicas per parameter-server range (0 or 1); each backup gets its own node")
+		psFailover = flag.Bool("ps-failover", false, "promote a range's backup when its primary dies, re-electing the monitor if needed (requires -supervise and -ps-replicas 1)")
 	)
 	flag.Parse()
 
@@ -208,6 +211,18 @@ func main() {
 	if wantElastic && *model == "gat" {
 		fail(fmt.Errorf("-elastic is not supported for the GAT trainer"))
 	}
+	if *psReplicas < 0 || *psReplicas > 1 {
+		fail(fmt.Errorf("-ps-replicas must be 0 or 1"))
+	}
+	if *psFailover && !*supervised && !*autoRollback {
+		fail(fmt.Errorf("-ps-failover requires -supervise (PS death detection lives in the supervisor)"))
+	}
+	if *psFailover && *psReplicas < 1 {
+		fail(fmt.Errorf("-ps-failover requires -ps-replicas 1 (promotion needs a backup)"))
+	}
+	if *psReplicas > 0 && *model == "gat" {
+		fail(fmt.Errorf("-ps-replicas is not supported for the GAT trainer"))
+	}
 	if wantElastic && (*checkpoint != "" || *resume != "") {
 		fail(fmt.Errorf("-checkpoint/-resume are not supported with -elastic yet"))
 	}
@@ -269,9 +284,11 @@ func main() {
 	// base plus bounded CallMulti fan-out, so ghost exchanges overlap peers'
 	// compression work. An elastic run reserves node ids for every join slot
 	// up front; idle slots cost nothing until a worker lands on them.
-	nodes := *workers + *servers
+	// Backups live on their own nodes above the primaries, so the transport
+	// must reserve servers*(1+replicas) server slots.
+	nodes := *workers + *servers*(1+*psReplicas)
 	if elasticOpts != nil {
-		nodes = elasticOpts.MaxWorkers + *servers
+		nodes = elasticOpts.MaxWorkers + *servers*(1+*psReplicas)
 	}
 	stack := transport.NewStack(
 		transport.NewInProc(nodes),
@@ -304,6 +321,8 @@ func main() {
 		Events:          events,
 		Tracer:          tracer,
 		Elastic:         elasticOpts,
+		PSReplicas:      *psReplicas,
+		PSFailover:      *psFailover,
 	}
 	if *supervised || *autoRollback {
 		cfg.Supervise = &supervise.Options{

@@ -8,12 +8,21 @@
 // state is deliberately not persisted: both endpoints of every EC pair
 // rebuild it consistently from scratch, costing at most one trend group of
 // extra traffic after resume.
+//
+// Durability: files are written to a temp name, fsynced, renamed over the
+// target and the directory fsynced, so a crash mid-write never clobbers
+// the previous checkpoint; and the v2 format ends in a CRC32-C over the
+// whole payload, so a truncated or bit-flipped file is rejected with a
+// clear error instead of silently resuming from garbage. Version-1 files
+// (no checksum trailer) are still readable.
 package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -21,8 +30,16 @@ import (
 	"ecgraph/internal/nn"
 )
 
-// checkpointMagic identifies the checkpoint format ("ECK" + version 1).
-var checkpointMagic = [4]byte{'E', 'C', 'K', 1}
+// checkpointMagic identifies the current checkpoint format ("ECK" + version
+// 2, checksummed); checkpointMagicV1 is the legacy unchecksummed format.
+var (
+	checkpointMagic   = [4]byte{'E', 'C', 'K', 2}
+	checkpointMagicV1 = [4]byte{'E', 'C', 'K', 1}
+)
+
+// checkpointCRC is the CRC32-C (Castagnoli) table the trailer uses — the
+// same polynomial the transport frames carry.
+var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Checkpoint is a resumable snapshot of a training run.
 type Checkpoint struct {
@@ -38,50 +55,94 @@ type Checkpoint struct {
 	LR           float64 // current (possibly decayed) learning rate
 }
 
-// Save writes the checkpoint to w.
+// Save writes the checkpoint to w in the v2 format: magic, body, then a
+// CRC32-C over everything before the trailer.
 func (c *Checkpoint) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+	h := crc32.New(checkpointCRC)
+	mw := io.MultiWriter(bw, h)
+	if _, err := mw.Write(checkpointMagic[:]); err != nil {
 		return err
 	}
-	for _, v := range []uint32{uint32(c.Epoch), uint32(c.BestEpoch), uint32(c.AdamT)} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	for _, v := range []float64{c.BestVal, c.TestAtBest, c.LR} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	if err := c.Model.Save(bw); err != nil {
+	if err := c.saveBody(mw); err != nil {
 		return err
 	}
-	if len(c.AdamM) != len(c.AdamV) {
-		return fmt.Errorf("core: checkpoint moment lengths differ: %d vs %d", len(c.AdamM), len(c.AdamV))
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.AdamM))); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, c.AdamM); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, c.AdamV); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// LoadCheckpoint reads a checkpoint serialised by Save.
-func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: read checkpoint magic: %w", err)
+// saveBody writes everything between the magic and the checksum trailer.
+func (c *Checkpoint) saveBody(w io.Writer) error {
+	for _, v := range []uint32{uint32(c.Epoch), uint32(c.BestEpoch), uint32(c.AdamT)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
 	}
-	if magic != checkpointMagic {
+	for _, v := range []float64{c.BestVal, c.TestAtBest, c.LR} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := c.Model.Save(w); err != nil {
+		return err
+	}
+	if len(c.AdamM) != len(c.AdamV) {
+		return fmt.Errorf("core: checkpoint moment lengths differ: %d vs %d", len(c.AdamM), len(c.AdamV))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(c.AdamM))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, c.AdamM); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, c.AdamV)
+}
+
+// LoadCheckpoint reads a checkpoint serialised by Save. A v2 file whose
+// checksum does not cover its bytes — truncation, a torn write, bit rot —
+// is rejected before any field is parsed; v1 files load without a
+// checksum check.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	if len(data) < len(checkpointMagic) {
+		return nil, fmt.Errorf("core: checkpoint truncated: %d bytes, no magic", len(data))
+	}
+	var magic [4]byte
+	copy(magic[:], data)
+	body := data[len(magic):]
+	switch magic {
+	case checkpointMagic:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("core: checkpoint truncated: missing checksum trailer")
+		}
+		sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.Checksum(data[:len(data)-4], checkpointCRC); got != sum {
+			return nil, fmt.Errorf("core: checkpoint corrupted: computed checksum %08x, trailer says %08x", got, sum)
+		}
+		body = body[:len(body)-4]
+	case checkpointMagicV1:
+		// Legacy format, accepted as-is.
+	default:
 		return nil, fmt.Errorf("core: bad checkpoint magic %v", magic)
 	}
+	c, err := loadBody(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint truncated or corrupted: %w", err)
+	}
+	return c, nil
+}
+
+// loadBody parses saveBody's output. The reader is wrapped in a
+// bufio.Reader up front so nn.Load (which buffers its input) adopts the
+// same reader instead of wrapping it again and over-reading past the model
+// section.
+func loadBody(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
 	c := &Checkpoint{}
 	var epoch, bestEpoch, adamT uint32
 	for _, p := range []*uint32{&epoch, &bestEpoch, &adamT} {
@@ -97,7 +158,7 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	m, err := nn.Load(br)
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint model: %w", err)
+		return nil, fmt.Errorf("checkpoint model: %w", err)
 	}
 	c.Model = m
 	var nMoments uint64
@@ -105,7 +166,7 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, err
 	}
 	if int(nMoments) != m.ParamCount() {
-		return nil, fmt.Errorf("core: checkpoint has %d moments for %d params", nMoments, m.ParamCount())
+		return nil, fmt.Errorf("checkpoint has %d moments for %d params", nMoments, m.ParamCount())
 	}
 	c.AdamM = make([]float64, nMoments)
 	c.AdamV = make([]float64, nMoments)
@@ -118,9 +179,10 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return c, nil
 }
 
-// SaveFile writes the checkpoint atomically: a temp file in the same
-// directory is renamed over path, so a crash mid-write never corrupts the
-// previous checkpoint.
+// SaveFile writes the checkpoint atomically and durably: a temp file in the
+// same directory is fsynced, renamed over path, and the directory fsynced,
+// so neither a crash mid-write nor a power loss right after the rename can
+// leave a torn or missing checkpoint behind.
 func (c *Checkpoint) SaveFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
@@ -132,11 +194,24 @@ func (c *Checkpoint) SaveFile(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		defer d.Close()
+		return d.Sync()
+	}
+	return nil
 }
 
 // LoadCheckpointFile reads a checkpoint from path.

@@ -105,9 +105,8 @@ type cluster struct {
 	net        transport.Network
 	maxWorkers int
 
-	serverNodes []int
-	servers     []*ps.Server
-	ranges      []ps.Range
+	tier   *psTier
+	ranges []ps.Range
 
 	sup    *supervise.Supervisor
 	mem    *supervise.Membership // nil on non-elastic runs
@@ -176,7 +175,7 @@ func (cl *cluster) newWorker(id int) *worker.Worker {
 		TrainMask:      cl.cfg.Dataset.TrainMask,
 		NumTrainGlobal: cl.nTrain,
 		Model:          nn.NewModel(cl.cfg.Kind, cl.dims, cl.cfg.Seed),
-		PS:             ps.NewClient(cl.net, id, cl.serverNodes, cl.ranges),
+		PS:             ps.NewClientRoutes(cl.net, id, cl.tier.routes, cl.ranges),
 		Opts:           cl.cfg.Worker,
 		Health:         cl.health,
 		Metrics:        cl.cfg.Metrics,
@@ -204,8 +203,10 @@ func (cl *cluster) workerList() []*worker.Worker {
 	return out
 }
 
-// monitor is the node hosting the membership manager and failure detector.
-func (cl *cluster) monitor() int { return cl.serverNodes[0] }
+// monitor is the node currently hosting the membership manager and failure
+// detector — the first parameter server at boot, another PS node after a
+// monitor re-election.
+func (cl *cluster) monitor() int { return cl.tier.monitor() }
 
 // maybeTransition runs at the top of every epoch: due scripted changes are
 // announced over the transport (a join that cannot reach the monitor fails
@@ -346,11 +347,10 @@ func (cl *cluster) applyView(t int, view supervise.View, joined, left []int) (*M
 		w.SeedDegradedCaches(prev)
 	}
 
-	// Rewire the barrier and the supervision roster to the new size, then
-	// rehydrate: ghost features for everyone, next forward round exact.
-	for _, srv := range cl.servers {
-		srv.SetExpected(len(view.Members))
-	}
+	// Rewire the barrier and the supervision roster to the new size —
+	// backups included, so a later promotion inherits the width in force —
+	// then rehydrate: ghost features for everyone, next forward round exact.
+	cl.tier.setExpected(len(view.Members))
 	if cl.sup != nil {
 		cl.sup.SetWorkers(view.Members)
 	}

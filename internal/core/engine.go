@@ -69,10 +69,33 @@ type Config struct {
 	// Cost converts counted bytes into simulated network time; defaults to
 	// Gigabit Ethernet.
 	Cost transport.CostModel
-	// NodeCosts optionally overrides Cost per node (length Workers+Servers),
-	// modelling heterogeneous clusters — e.g. one worker behind a slower
-	// link. The slowest node still gates the epoch.
+	// NodeCosts optionally overrides Cost per node, modelling heterogeneous
+	// clusters — e.g. one worker behind a slower link. Nodes are laid out
+	// workers, then PS primaries, then PS backups (when PSReplicas > 0).
+	// The slowest node still gates the epoch.
 	NodeCosts []transport.CostModel
+
+	// PSReplicas gives every parameter-server range that many hot-standby
+	// replicas on dedicated nodes above the primaries (0 or 1). The primary
+	// log-ships each applied update — post-Adam parameters, Adam moments,
+	// learning-rate state, version — to its backup inside the push critical
+	// section, so the backup always serves pulls at the promoted version
+	// with bitwise-identical state. Replication without PSFailover keeps a
+	// warm standby but never promotes it.
+	PSReplicas int
+	// PSFailover arms the promotion path: the phi-accrual detector watches
+	// PS nodes too, a dead primary's backup is promoted via the shared
+	// range→node route table, a dead monitor's duty is re-elected to the
+	// lowest-id live PS node, and fresh backups are spawned and re-synced
+	// once the dead node answers probes again. Requires Supervise and
+	// PSReplicas >= 1.
+	PSFailover bool
+	// EpochHook, when non-nil, is called at the top of every epoch attempt
+	// (replays after a recovery included) with the epoch about to run —
+	// the seam fault-injection tests and the CLIs use to kill a PS node at
+	// a known training phase (transport.Chaos.Depart). Hooks that inject
+	// one-shot faults must dedupe on the epoch number themselves.
+	EpochHook func(epoch int)
 
 	// CheckpointPath, when non-empty, makes Train atomically write a
 	// resumable checkpoint (model + Adam state + progress) to this file every
@@ -313,6 +336,20 @@ func Train(c Config) (*Result, error) {
 			return nil, perr
 		}
 	}
+	if cfg.PSReplicas < 0 || cfg.PSReplicas > 1 {
+		return nil, fmt.Errorf("core: PSReplicas must be 0 or 1, got %d", cfg.PSReplicas)
+	}
+	if cfg.PSFailover {
+		if cfg.Supervise == nil {
+			return nil, fmt.Errorf("core: PSFailover requires Config.Supervise")
+		}
+		if cfg.PSReplicas < 1 {
+			return nil, fmt.Errorf("core: PSFailover requires PSReplicas >= 1")
+		}
+	}
+	// Node layout: workers 0..maxWorkers-1, PS primaries above them, PS
+	// backups (when replicated) above the primaries.
+	totalNodes := maxWorkers + cfg.Servers*(1+cfg.PSReplicas)
 
 	assign := cfg.Partitioner.Partition(d.Graph, cfg.Workers)
 	res.PartitionStats = partition.Analyze(d.Graph, assign, cfg.Workers)
@@ -320,28 +357,24 @@ func Train(c Config) (*Result, error) {
 
 	net := cfg.Net
 	if net == nil {
-		net = transport.NewInProc(maxWorkers + cfg.Servers)
+		net = transport.NewInProc(totalNodes)
 		defer net.Close()
 	}
 
 	template := nn.NewModel(cfg.Kind, dims, cfg.Seed)
 	flat := template.FlattenParams()
 	ranges := ps.Ranges(len(flat), cfg.Servers)
-	serverNodes := make([]int, cfg.Servers)
-	servers := make([]*ps.Server, cfg.Servers)
-	for i := 0; i < cfg.Servers; i++ {
-		node := maxWorkers + i
-		serverNodes[i] = node
-		servers[i] = ps.NewServerOpts(flat[ranges[i].Lo:ranges[i].Hi], cfg.LR, cfg.Workers, cfg.Optim)
-		net.Register(node, servers[i].Handler())
-	}
+	tier := newPSTier(&cfg, net, flat, ranges, maxWorkers)
 
-	// Supervision: heartbeats from every worker land on the first parameter
-	// server (the monitor), whose handler is wrapped with the supervision
-	// RPCs. The supervisor exists before the workers so they can consult it
-	// (as their PeerHealth) inside the ghost exchange. With Elastic the
-	// membership manager wraps the same chain, so join/leave announcements
-	// and heartbeats share the monitor's handler.
+	// Supervision: heartbeats from every worker land on the monitor —
+	// initially the first parameter server, re-elected to another PS node if
+	// it dies — whose handler is wrapped with the supervision RPCs. The
+	// supervisor exists before the workers so they can consult it (as their
+	// PeerHealth) inside the ghost exchange. With Elastic the membership
+	// manager wraps the same chain, so join/leave announcements and
+	// heartbeats share the monitor's handler. tier.install wraps EVERY PS
+	// node — primary and backup alike — so any of them can inherit monitor
+	// duty without a handler swap.
 	var sup *supervise.Supervisor
 	var mem *supervise.Membership
 	if cfg.Supervise != nil {
@@ -349,7 +382,7 @@ func Train(c Config) (*Result, error) {
 		for i := range workerNodes {
 			workerNodes[i] = i
 		}
-		sup = supervise.New(*cfg.Supervise, net, workerNodes, serverNodes[0])
+		sup = supervise.New(*cfg.Supervise, net, workerNodes, tier.monitor())
 	}
 	if cfg.Elastic != nil {
 		bootRoster := make([]int, cfg.Workers)
@@ -358,16 +391,7 @@ func Train(c Config) (*Result, error) {
 		}
 		mem = supervise.NewMembership(bootRoster)
 	}
-	if sup != nil || mem != nil {
-		h := servers[0].Handler()
-		if sup != nil {
-			h = sup.WrapHandler(h)
-		}
-		if mem != nil {
-			h = mem.WrapHandler(h)
-		}
-		net.Register(serverNodes[0], h)
-	}
+	tier.install(sup, mem, cfg.Metrics)
 
 	// Telemetry: codec totals, detector state and engine gauges all hang
 	// off the same registry (every Register* is a no-op on nil).
@@ -389,7 +413,10 @@ func Train(c Config) (*Result, error) {
 		if err := ckpt.compatibleWith(cfg.Kind, dims); err != nil {
 			return nil, fmt.Errorf("core: resume from %s: %w", cfg.ResumeFrom, err)
 		}
-		if err := restoreServers(servers, ranges, ckpt); err != nil {
+		if err := restoreServers(tier.primaries, ranges, ckpt); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if err := tier.restoreBackups(); err != nil {
 			return nil, fmt.Errorf("core: resume: %w", err)
 		}
 		startEpoch = ckpt.Epoch
@@ -410,7 +437,7 @@ func Train(c Config) (*Result, error) {
 	// in force, never the boot-time one.
 	cl := &cluster{
 		cfg: &cfg, dims: dims, adj: adj, nTrain: nTrain, net: net,
-		maxWorkers: maxWorkers, serverNodes: serverNodes, servers: servers,
+		maxWorkers: maxWorkers, tier: tier,
 		ranges: ranges, sup: sup, mem: mem, health: health,
 		mobs: newMembershipObs(cfg.Metrics), tracer: cfg.Tracer,
 		assign: assign, topo: topo,
@@ -447,14 +474,14 @@ func Train(c Config) (*Result, error) {
 		}
 	}
 	preCompute := time.Since(preStart).Seconds()
-	res.PreprocessSeconds = preCompute + maxNodeCommTime(net, &cfg, maxWorkers+cfg.Servers)
+	res.PreprocessSeconds = preCompute + maxNodeCommTime(net, &cfg, totalNodes)
 	net.ResetStats()
 
 	var sv *supervisedRun
 	if sup != nil {
 		sup.Start()
 		defer sup.Stop()
-		sv = newSupervisedRun(&cfg, sup, net, cl, servers, serverNodes, ranges, dims, startEpoch, res)
+		sv = newSupervisedRun(&cfg, sup, net, cl, dims, startEpoch, res)
 	}
 
 	// ---- Training epochs ----
@@ -515,7 +542,7 @@ func Train(c Config) (*Result, error) {
 		// Every node in the id space is counted, not just the active ones: a
 		// departed worker's last traffic and the handoff bytes it shipped on
 		// its way out still crossed real links.
-		for node := 0; node < maxWorkers+cfg.Servers; node++ {
+		for node := 0; node < totalNodes; node++ {
 			s := net.NodeStats(node)
 			totalBytes += s.BytesOut // each byte counted once at its sender
 			msgs += s.Messages
@@ -559,6 +586,9 @@ func Train(c Config) (*Result, error) {
 	}
 
 	for t := startEpoch; t < cfg.Epochs; {
+		if cfg.EpochHook != nil {
+			cfg.EpochHook(t)
+		}
 		// Epoch boundary: install any pending membership change before the
 		// epoch runs, so no epoch ever observes two rosters.
 		if _, err := cl.maybeTransition(t); err != nil {
@@ -606,6 +636,9 @@ func Train(c Config) (*Result, error) {
 		net.ResetStats()
 		if sv != nil {
 			sv.noteSuccess(t)
+			// Epoch boundary housekeeping: re-sync stale backups and respawn
+			// missing ones whose node answers probes again.
+			tier.maintain(t)
 		}
 
 		if stats.ValAcc > res.BestVal {
@@ -620,7 +653,7 @@ func Train(c Config) (*Result, error) {
 		if cfg.CheckpointPath != "" && ((t+1)%ckptEvery == 0 || t == cfg.Epochs-1 || stop) {
 			// Between epochs every worker is idle, so the servers are
 			// quiescent at version t+1 and the snapshot is consistent.
-			if err := writeCheckpoint(cfg.CheckpointPath, &cfg, dims, servers, ranges, t+1, res); err != nil {
+			if err := writeCheckpoint(cfg.CheckpointPath, &cfg, dims, tier.primaries, ranges, t+1, res); err != nil {
 				return nil, fmt.Errorf("core: checkpoint at epoch %d: %w", t+1, err)
 			}
 		}
@@ -647,8 +680,9 @@ func Train(c Config) (*Result, error) {
 	// Export the trained parameters for inference/checkpointing.
 	// lastVersion, not len(res.Epochs): a resumed run's first epoch already
 	// left the servers past version len(res.Epochs). The pull issues from an
-	// active worker node — node 0 may have left the cluster.
-	finalClient := ps.NewClient(net, cl.active[0], serverNodes, ranges)
+	// active worker node — node 0 may have left the cluster — and resolves
+	// through the route table, so it reaches promoted backups too.
+	finalClient := ps.NewClientRoutes(net, cl.active[0], tier.routes, ranges)
 	res.FinalParams, err = finalClient.Pull(lastVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: pull final params: %w", err)

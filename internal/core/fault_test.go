@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -209,5 +211,85 @@ func TestResumeRejectsMismatchedArchitecture(t *testing.T) {
 	missing.ResumeFrom = filepath.Join(t.TempDir(), "nope.ckpt")
 	if _, err := Train(missing); err == nil {
 		t.Fatalf("resume from a missing file accepted")
+	}
+}
+
+// testCheckpoint builds a small valid checkpoint for the corruption tests.
+func testCheckpoint() *Checkpoint {
+	m := nn.NewModel(nn.KindGCN, []int{4, 3, 2}, 7)
+	n := m.ParamCount()
+	c := &Checkpoint{
+		Epoch: 5, BestVal: 0.5, BestEpoch: 4, TestAtBest: 0.5,
+		Model: m,
+		AdamM: make([]float64, n), AdamV: make([]float64, n),
+		AdamT: 5, LR: 0.01,
+	}
+	for i := 0; i < n; i++ {
+		c.AdamM[i], c.AdamV[i] = float64(i), float64(i)*2
+	}
+	return c
+}
+
+// TestCheckpointRejectsCorruption: the v2 CRC trailer must catch a single
+// flipped bit anywhere in the file and any truncation, instead of letting a
+// resume start from silently wrong optimiser state.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testCheckpoint().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := LoadCheckpoint(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	// Flip one bit at a spread of offsets past the magic (corrupting the
+	// magic itself is a different error, also fatal).
+	for _, off := range []int{4, 16, len(good) / 2, len(good) - 5, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		if _, err := LoadCheckpoint(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at offset %d not detected", off)
+		}
+	}
+	// Truncation at any boundary must be rejected too.
+	for _, n := range []int{0, 3, 4, 12, len(good) / 2, len(good) - 1} {
+		if _, err := LoadCheckpoint(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+// TestCheckpointLoadsV1 keeps the legacy unchecksummed format readable: a
+// v1 file is the v2 body under the old magic with no trailer.
+func TestCheckpointLoadsV1(t *testing.T) {
+	in := testCheckpoint()
+	var buf bytes.Buffer
+	buf.Write(checkpointMagicV1[:])
+	if err := in.saveBody(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if out.Epoch != in.Epoch || out.LR != in.LR || out.AdamT != in.AdamT {
+		t.Fatalf("v1 checkpoint loaded wrong: %+v vs %+v", out, in)
+	}
+}
+
+// TestSaveFileLeavesNoTemp: the atomic writer must not strand its temp file
+// on either the success or failure path.
+func TestSaveFileLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := testCheckpoint().SaveFile(filepath.Join(dir, "ok.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ok.ckpt" {
+		t.Fatalf("directory not clean after SaveFile: %v", entries)
 	}
 }

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ecgraph/internal/ps"
+	"ecgraph/internal/supervise"
+	"ecgraph/internal/transport"
+)
+
+// psSupervision returns supervision options for the failover tests: probes
+// and heartbeats run at test speed, but the worker-side degradation knobs
+// are disabled — suspect thresholds out of reach, straggler deadlines off —
+// because the bitwise-trajectory assertions below must not race a loaded
+// machine into serving stale ghost rows. PS failover does not depend on any
+// of the disabled machinery: dead PS nodes are established by direct
+// probes, not phi.
+func psSupervision() *supervise.Options {
+	return &supervise.Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      10 * time.Minute,
+		DeadAfter:         10 * time.Minute,
+		PhiSuspect:        1e9,
+		PhiDead:           1e9,
+		StragglerMult:     -1,
+		ProbeBudget:       time.Second,
+		RecoveryBackoff:   time.Millisecond,
+		ProbeInterval:     time.Millisecond,
+	}
+}
+
+// psFailoverConfig is coraConfig with a replicated, failover-armed PS tier.
+func psFailoverConfig(epochs int) Config {
+	cfg := coraConfig(epochs)
+	cfg.PSReplicas = 1
+	cfg.PSFailover = true
+	cfg.Supervise = psSupervision()
+	return cfg
+}
+
+// killAt returns an EpochHook that departs node on the first attempt of the
+// given epoch (the hook fires on replays too, so it dedupes itself).
+func killAt(chaos *transport.Chaos, epoch, node int) func(int) {
+	var once sync.Once
+	return func(t int) {
+		if t == epoch {
+			once.Do(func() { chaos.Depart(node) })
+		}
+	}
+}
+
+// lossBits projects a run onto its per-epoch loss bit patterns.
+func lossBits(res *Result) []uint64 {
+	out := make([]uint64, len(res.Epochs))
+	for i, e := range res.Epochs {
+		out[i] = math.Float64bits(e.Loss)
+	}
+	return out
+}
+
+// TestPSFailoverBitwiseTrajectory is the headline acceptance test of the
+// failover tier: a parameter server is killed permanently mid-run, its
+// backup is promoted, and training completes every epoch with a loss
+// trajectory — and final parameters — BITWISE identical to a run that never
+// crashed. That exactness is the point of the whole design: log-shipping
+// inside the push critical section hands over state at the exact promoted
+// version, and version-exact pulls keep the replayed epoch's inputs
+// identical even when the surviving range's barrier had already advanced.
+func TestPSFailoverBitwiseTrajectory(t *testing.T) {
+	const epochs = 12
+	const killEpoch = 6
+
+	baseline, err := Train(psFailoverConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := psFailoverConfig(epochs)
+	// Nodes: 3 workers, primaries at 3 and 4, backups at 5 and 6. The chaos
+	// layer injects nothing on its own; Depart kills the primary of range 1
+	// (node 4, not the monitor) before epoch 6 runs.
+	nodes := cfg.Workers + 2*cfg.Servers
+	chaos := transport.NewChaos(transport.NewInProc(nodes), transport.ChaosConfig{})
+	cfg.Net = chaos
+	defer cfg.Net.Close()
+	cfg.EpochHook = killAt(chaos, killEpoch, cfg.Workers+1)
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Epochs) != epochs {
+		t.Fatalf("failover run trained %d epochs, want %d (no epoch may be lost)", len(res.Epochs), epochs)
+	}
+	if res.Recoveries == 0 {
+		t.Fatalf("PS kill at epoch %d triggered no recovery", killEpoch)
+	}
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventPSPromote, supervise.EventRetry, supervise.EventRecovered,
+	})
+	for _, e := range res.SuperviseEvents {
+		if e.Kind == supervise.EventRollback {
+			t.Fatalf("clean promotion fell back to rollback: %v", e)
+		}
+		if e.Kind == supervise.EventPSPromote && e.Worker != cfg.Workers+cfg.Servers+1 {
+			t.Fatalf("promotion landed on node %d, want backup node %d: %v",
+				e.Worker, cfg.Workers+cfg.Servers+1, e)
+		}
+	}
+
+	// The handoff must be version-exact and bitwise: every epoch's loss —
+	// including the replayed kill epoch and everything after it — and the
+	// final parameter vector match the uninterrupted run bit for bit.
+	want, got := lossBits(baseline), lossBits(res)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("epoch %d loss diverged after failover: %v (crash run) vs %v (clean run)",
+				i, res.Epochs[i].Loss, baseline.Epochs[i].Loss)
+		}
+	}
+	if len(res.FinalParams) != len(baseline.FinalParams) {
+		t.Fatalf("final param lengths differ: %d vs %d", len(res.FinalParams), len(baseline.FinalParams))
+	}
+	for i := range res.FinalParams {
+		if math.Float32bits(res.FinalParams[i]) != math.Float32bits(baseline.FinalParams[i]) {
+			t.Fatalf("final param %d diverged after failover: %v vs %v",
+				i, res.FinalParams[i], baseline.FinalParams[i])
+		}
+	}
+}
+
+// TestPSMonitorCrashReelection kills the node that is both the monitor and
+// range 0's primary: monitor duty must re-elect to the lowest-id live PS
+// node, the backup must be promoted, and — the part that proves the control
+// plane genuinely moved — a scripted membership join and drain AFTER the
+// crash must still go through, since announcements and heartbeats now land
+// on the re-elected monitor.
+func TestPSMonitorCrashReelection(t *testing.T) {
+	const epochs = 14
+	cfg := psFailoverConfig(epochs)
+	cfg.Elastic = &ElasticOptions{Plan: []MembershipChange{
+		{Epoch: 8, Join: true, Worker: -1},  // auto id 3
+		{Epoch: 11, Join: false, Worker: 1}, // drain worker 1
+	}}
+	maxWorkers := cfg.Workers + 1 // the joiner reserves id 3
+	nodes := maxWorkers + 2*cfg.Servers
+	chaos := transport.NewChaos(transport.NewInProc(nodes), transport.ChaosConfig{})
+	cfg.Net = chaos
+	defer cfg.Net.Close()
+	monitorNode := maxWorkers // first PS primary hosts the monitor at boot
+	cfg.EpochHook = killAt(chaos, 5, monitorNode)
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Epochs) != epochs {
+		t.Fatalf("monitor-crash run trained %d epochs, want %d", len(res.Epochs), epochs)
+	}
+	assertEventOrder(t, res.SuperviseEvents, []supervise.EventKind{
+		supervise.EventMonitorElect, supervise.EventPSPromote, supervise.EventRecovered,
+	})
+	var elected = -1
+	for _, e := range res.SuperviseEvents {
+		if e.Kind == supervise.EventMonitorElect {
+			elected = e.Worker
+		}
+	}
+	if elected != maxWorkers+1 {
+		t.Fatalf("monitor re-elected to node %d, want lowest-id live PS node %d", elected, maxWorkers+1)
+	}
+
+	// The join and the drain were announced after the crash — they only
+	// succeed if the membership plane followed the monitor to its new node.
+	var joined3, left1 bool
+	for _, ev := range res.MembershipEvents {
+		for _, id := range ev.Joined {
+			joined3 = joined3 || id == 3
+		}
+		for _, id := range ev.Left {
+			left1 = left1 || id == 1
+		}
+	}
+	if !joined3 || !left1 {
+		t.Fatalf("post-crash membership churn failed (join3=%v drain1=%v): %+v",
+			joined3, left1, res.MembershipEvents)
+	}
+	if res.FinalView.Has(1) || !res.FinalView.Has(3) {
+		t.Fatalf("final view %v, want worker 1 drained and worker 3 joined", res.FinalView)
+	}
+	assertSingleOwner(t, res, cfg.Dataset.Graph.N)
+}
+
+// TestPSBackupCrashResync drives the backup-crash-mid-sync row of the
+// failure matrix end to end: an outage window swallows a stretch of
+// replication ships, the primary flags its backup stale and stops shipping,
+// and once the window drains the next epoch boundary re-syncs the backup
+// with a full snapshot and re-arms shipping — recorded as EventPSResync.
+// Training itself never hiccups: a stale backup costs nothing unless its
+// primary dies.
+func TestPSBackupCrashResync(t *testing.T) {
+	const epochs = 12
+	baseline, err := Train(psFailoverConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := psFailoverConfig(epochs)
+	nodes := cfg.Workers + 2*cfg.Servers
+	// Drop replication ships to the backup of range 0 (node 5) for a window
+	// of the MethodRepl call sequence; everything else flows untouched.
+	outage := newSeqOutage(transport.NewInProc(nodes),
+		[]transport.CrashWindow{{Node: cfg.Workers + cfg.Servers, From: 3, To: 6}},
+		[]string{ps.MethodRepl})
+	cfg.Net = outage
+	defer cfg.Net.Close()
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if outage.crashed.Load() == 0 {
+		t.Fatalf("replication outage window never hit")
+	}
+	if res.Recoveries != 0 {
+		t.Fatalf("backup outage caused %d recoveries; it must be invisible to training", res.Recoveries)
+	}
+	var resynced bool
+	for _, e := range res.SuperviseEvents {
+		resynced = resynced || e.Kind == supervise.EventPSResync
+	}
+	if !resynced {
+		t.Fatalf("stale backup never re-synced: %v", res.SuperviseEvents)
+	}
+	// A backup outage must not perturb the trajectory at all.
+	want, got := lossBits(baseline), lossBits(res)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("epoch %d loss diverged under a backup-only outage: %v vs %v",
+				i, res.Epochs[i].Loss, baseline.Epochs[i].Loss)
+		}
+	}
+}
+
+// TestPSFailoverConfigValidation pins the config-surface contract.
+func TestPSFailoverConfigValidation(t *testing.T) {
+	cfg := coraConfig(2)
+	cfg.PSFailover = true
+	if _, err := Train(cfg); err == nil {
+		t.Fatalf("PSFailover without Supervise accepted")
+	}
+	cfg = coraConfig(2)
+	cfg.Supervise = psSupervision()
+	cfg.PSFailover = true
+	if _, err := Train(cfg); err == nil {
+		t.Fatalf("PSFailover without PSReplicas accepted")
+	}
+	cfg = coraConfig(2)
+	cfg.PSReplicas = 3
+	if _, err := Train(cfg); err == nil {
+		t.Fatalf("PSReplicas = 3 accepted")
+	}
+}
+
+// TestPSReplicationCleanRunIsNoOp: with replication on but no faults, the
+// trajectory must be bitwise the unreplicated one — log-shipping runs
+// inside the push critical section but never touches the primary's math.
+func TestPSReplicationCleanRunIsNoOp(t *testing.T) {
+	const epochs = 8
+	plain, err := Train(coraConfig(epochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coraConfig(epochs)
+	cfg.PSReplicas = 1
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := lossBits(plain), lossBits(res)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("epoch %d loss diverged with a warm standby attached: %v vs %v",
+				i, res.Epochs[i].Loss, plain.Epochs[i].Loss)
+		}
+	}
+	for i := range res.FinalParams {
+		if math.Float32bits(res.FinalParams[i]) != math.Float32bits(plain.FinalParams[i]) {
+			t.Fatalf("final param %d diverged with replication on", i)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Parameter-server fault tolerance: the engine-side half of PS replication
+// and failover. internal/ps owns the mechanisms — log-shipped hot-standby
+// state (Server.SetShip/ApplyReplica), version-exact pulls, the shared
+// range→node route table — and internal/supervise owns detection; this file
+// owns the reaction: promoting a range's backup when its primary dies,
+// re-electing monitor duty to the lowest-id live PS node when the monitor
+// itself was the casualty, and re-syncing stale or freshly spawned backups
+// over the ordinary transport.
+//
+// Failover protocol (DESIGN.md §13):
+//
+//	replicate — each primary log-ships every applied update (post-Adam
+//	            params, moments, LR, version) to its backup inside the push
+//	            critical section, so no pull ever observes a version the
+//	            backup does not hold. A failed ship marks the backup stale;
+//	            shipping stops until a full-snapshot re-sync.
+//	detect    — PS nodes heartbeat to the monitor like workers do
+//	            (Supervisor.WatchNodes); the failed epoch's error plus
+//	            liveness probes establish which PS nodes are gone. The
+//	            monitor's own death is established by probing it from an
+//	            active worker, a question it cannot answer about itself.
+//	elect     — when the dead node carried monitor duty, the supervisor
+//	            re-targets to the lowest-id live PS node. Every PS handler
+//	            was wrapped with the supervision/membership RPCs up front,
+//	            so the takeover needs no handler swap; heartbeat emitters
+//	            re-read the monitor each beat and follow automatically.
+//	promote   — the shared route table re-points the range at the backup
+//	            node and bumps its generation; every worker client follows
+//	            at its next pull/push. The backup holds bitwise-identical
+//	            state at the promoted version, so the replayed epoch's
+//	            version-exact pulls — and with them the whole trajectory —
+//	            match a run that never crashed.
+//	resync    — a fresh backup is spawned on the dead primary's node once it
+//	            answers probes again and receives a full snapshot via
+//	            MethodRepl; until then the promoted primary runs backupless
+//	            and maintain() retries at each epoch boundary.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ecgraph/internal/obs"
+	"ecgraph/internal/ps"
+	"ecgraph/internal/supervise"
+	"ecgraph/internal/transport"
+)
+
+// psObs holds the failover telemetry handles (all nil-safe).
+type psObs struct {
+	routeGen   *obs.Gauge
+	promotions *obs.Counter
+	resyncs    *obs.Counter
+	elections  *obs.Counter
+}
+
+func newPSObs(reg *obs.Registry) psObs {
+	return psObs{
+		routeGen: reg.Gauge("ecgraph_ps_route_generation",
+			"Generation of the range→node route table; bumps on every failover promotion."),
+		promotions: reg.Counter("ecgraph_ps_promotions_total",
+			"Parameter-server backups promoted to primary after a primary death."),
+		resyncs: reg.Counter("ecgraph_ps_resyncs_total",
+			"Full-snapshot backup re-syncs (fresh spawns and stale-replica recoveries)."),
+		elections: reg.Counter("ecgraph_ps_monitor_elections_total",
+			"Monitor re-elections after the monitor node died."),
+	}
+}
+
+// psTier owns the parameter-server fleet of a run: one primary per range,
+// the optional hot-standby backup per range, the shared route table every
+// worker client resolves through, and the node currently carrying monitor
+// duty. Only the engine goroutine mutates the tier, always between epoch
+// attempts when every worker is idle; the ship hooks it installs run on
+// worker goroutines inside the push critical section but capture their
+// endpoints by value, so a promotion never races an in-flight ship.
+type psTier struct {
+	cfg    *Config
+	net    transport.Network
+	ranges []ps.Range
+	routes *ps.Routes
+
+	sup *supervise.Supervisor
+	mem *supervise.Membership
+
+	primaries   []*ps.Server
+	backups     []*ps.Server // nil entry: range currently backupless
+	primaryNode []int
+	backupNode  []int // respawn site when backups[i] == nil; -1 without replicas
+	monitorNode int
+
+	expected int // current barrier width, for freshly spawned servers
+	obs      psObs
+}
+
+// newPSTier builds the server objects and the route table for the node
+// layout workers 0..maxWorkers-1, primaries maxWorkers..maxWorkers+S-1,
+// backups maxWorkers+S..maxWorkers+2S-1. Handlers are registered by
+// install once the supervision and membership wrappers exist.
+func newPSTier(cfg *Config, net transport.Network, flat []float32, ranges []ps.Range, maxWorkers int) *psTier {
+	t := &psTier{
+		cfg: cfg, net: net, ranges: ranges,
+		primaries:   make([]*ps.Server, len(ranges)),
+		backups:     make([]*ps.Server, len(ranges)),
+		primaryNode: make([]int, len(ranges)),
+		backupNode:  make([]int, len(ranges)),
+		expected:    cfg.Workers,
+	}
+	for i, rg := range ranges {
+		t.primaries[i] = ps.NewServerOpts(flat[rg.Lo:rg.Hi], cfg.LR, cfg.Workers, cfg.Optim)
+		t.primaryNode[i] = maxWorkers + i
+		t.backupNode[i] = -1
+		if cfg.PSReplicas > 0 {
+			t.backups[i] = ps.NewServerOpts(flat[rg.Lo:rg.Hi], cfg.LR, cfg.Workers, cfg.Optim)
+			t.backupNode[i] = maxWorkers + len(ranges) + i
+		}
+	}
+	t.monitorNode = t.primaryNode[0]
+	t.routes = ps.NewRoutes(t.primaryNode)
+	return t
+}
+
+// monitor returns the node currently hosting the supervision and membership
+// control plane.
+func (t *psTier) monitor() int { return t.monitorNode }
+
+// failover reports whether the promotion path is armed.
+func (t *psTier) failover() bool { return t.cfg.PSFailover && t.sup != nil }
+
+// nodes returns every node currently hosting a live server object,
+// ascending — the candidate list for monitor election.
+func (t *psTier) nodes() []int {
+	var out []int
+	for i := range t.primaries {
+		out = append(out, t.primaryNode[i])
+		if t.backups[i] != nil {
+			out = append(out, t.backupNode[i])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// install wires the tier into the run: every PS node's handler — primary
+// and backup alike — is wrapped with the supervision and membership RPCs,
+// so any of them can take over monitor duty without a handler swap; ship
+// hooks arm replication; and with supervision the PS nodes join the
+// heartbeat/detector roster as watched (non-worker) nodes.
+func (t *psTier) install(sup *supervise.Supervisor, mem *supervise.Membership, reg *obs.Registry) {
+	t.sup, t.mem = sup, mem
+	t.obs = newPSObs(reg)
+	for i := range t.primaries {
+		t.register(t.primaryNode[i], t.primaries[i])
+		if t.backups[i] != nil {
+			t.register(t.backupNode[i], t.backups[i])
+			t.arm(i)
+		}
+	}
+	if sup != nil {
+		sup.WatchNodes(t.nodes())
+	}
+}
+
+// register installs a server's handler on its node behind the supervision
+// and membership wrappers (when present).
+func (t *psTier) register(node int, srv *ps.Server) {
+	h := srv.Handler()
+	if t.sup != nil {
+		h = t.sup.WrapHandler(h)
+	}
+	if t.mem != nil {
+		h = t.mem.WrapHandler(h)
+	}
+	t.net.Register(node, h)
+}
+
+// arm points range i's ship hook at its backup node. Endpoints are captured
+// by value: a later promotion swaps the hook, never mutates it.
+func (t *psTier) arm(i int) {
+	pn, bn := t.primaryNode[i], t.backupNode[i]
+	t.primaries[i].SetShip(func(st ps.State) error {
+		_, err := t.net.Call(pn, bn, ps.MethodRepl, ps.EncodeState(st))
+		return err
+	})
+}
+
+// setExpected rewires the push barrier to a new roster size on every server
+// object, backups included — a promoted backup must already hold the width
+// in force.
+func (t *psTier) setExpected(n int) {
+	t.expected = n
+	for i := range t.primaries {
+		t.primaries[i].SetExpected(n)
+		if t.backups[i] != nil {
+			t.backups[i].SetExpected(n)
+		}
+	}
+}
+
+// serverVersions reads every range's applied-update count through the route
+// table, issuing from the current monitor node.
+func (t *psTier) serverVersions() ([]int, error) {
+	return ps.NewClientRoutes(t.net, t.monitorNode, t.routes, t.ranges).ServerVersions()
+}
+
+// recoverPS runs at the top of every supervised recovery, before the worker
+// probes: a dead monitor fails every probe issued from it, so the PS tier
+// must be healed first or the whole cluster is misdiagnosed. probeSrc is an
+// active worker node the monitor's own liveness is checked from. Returns a
+// non-empty rollback reason when the tier was healed but its state cannot
+// carry the trajectory forward (a stale backup promoted, or a primary
+// respawned from scratch), and a terminal error when a range is lost.
+func (t *psTier) recoverPS(epoch, probeSrc int) (string, error) {
+	if !t.failover() {
+		return "", nil
+	}
+	opts := t.sup.Options()
+	if !t.sup.ProbeFrom(probeSrc, t.monitorNode) {
+		if err := t.elect(probeSrc, epoch); err != nil {
+			return "", err
+		}
+	}
+	var rollback string
+	for i := range t.primaries {
+		if t.sup.Probe(t.primaryNode[i]) {
+			continue
+		}
+		if t.backups[i] != nil && t.sup.Probe(t.backupNode[i]) {
+			stale := t.primaries[i].ReplicaStale()
+			t.promote(i, epoch)
+			if stale && rollback == "" {
+				rollback = fmt.Sprintf("range %d promoted a stale backup (missed log-ships)", i)
+			}
+			continue
+		}
+		// No promotable backup: wait for the node itself to come back — an
+		// orchestrator restart — and hand it a fresh, empty server whose
+		// state the rollback below restores from the latest checkpoint.
+		if !t.sup.AwaitReachable(t.primaryNode[i], opts.ProbeBudget) {
+			return "", fmt.Errorf("core: ps range %d lost: primary node %d dead with no promotable backup", i, t.primaryNode[i])
+		}
+		srv := ps.NewServerOpts(make([]float32, t.ranges[i].Len()), t.cfg.LR, t.expected, t.cfg.Optim)
+		t.register(t.primaryNode[i], srv)
+		t.primaries[i] = srv
+		t.sup.Record(supervise.EventRespawn, t.primaryNode[i], epoch,
+			fmt.Sprintf("fresh parameter server replaced dead backupless primary (range %d)", i))
+		if rollback == "" {
+			rollback = fmt.Sprintf("range %d respawned from scratch (no backup to promote)", i)
+		}
+	}
+	t.maintain(epoch)
+	return rollback, nil
+}
+
+// elect moves monitor duty to the lowest-id live PS node, probing each
+// candidate from probeSrc (the old monitor cannot vouch for anyone).
+func (t *psTier) elect(probeSrc, epoch int) error {
+	old := t.monitorNode
+	for _, n := range t.nodes() {
+		if n == old || !t.sup.ProbeFrom(probeSrc, n) {
+			continue
+		}
+		t.monitorNode = n
+		t.sup.SetMonitor(n)
+		t.sup.Record(supervise.EventMonitorElect, n, epoch,
+			fmt.Sprintf("monitor node %d unreachable; duty re-elected to lowest-id live ps node %d", old, n))
+		t.obs.elections.Inc()
+		return nil
+	}
+	return fmt.Errorf("core: monitor node %d dead and no live parameter-server node to take over", old)
+}
+
+// promote makes range i's backup its primary: the route table re-points the
+// range and bumps its generation, every worker client follows at its next
+// call, and the old primary's node becomes the respawn site for a future
+// backup. The backup's state is bitwise the primary's at the promoted
+// version (log-shipping ran inside the push critical section), so replayed
+// epochs pull exactly what the dead primary would have served.
+func (t *psTier) promote(i, epoch int) {
+	old := t.primaryNode[i]
+	b, bn := t.backups[i], t.backupNode[i]
+	b.SetShip(nil)
+	t.primaries[i] = b
+	t.primaryNode[i] = bn
+	t.backups[i] = nil
+	t.backupNode[i] = old
+	gen := t.routes.SetPrimary(i, bn)
+	t.sup.Unwatch(old)
+	t.sup.Record(supervise.EventPSPromote, bn, epoch,
+		fmt.Sprintf("range %d: primary node %d dead, backup promoted at version %d (route gen %d)", i, old, b.Version(), gen))
+	t.obs.promotions.Inc()
+	t.obs.routeGen.Set(float64(gen))
+}
+
+// maintain runs at epoch boundaries and after recoveries: backupless ranges
+// get a fresh backup spawned and snapshot-synced once their respawn site
+// answers probes again, and stale backups (a failed log-ship) are re-synced
+// and shipping re-armed. All probes and syncs are best-effort — a range
+// that stays backupless simply retries at the next boundary.
+func (t *psTier) maintain(epoch int) {
+	if t.sup == nil || t.cfg.PSReplicas == 0 {
+		return
+	}
+	for i := range t.primaries {
+		if t.backups[i] == nil {
+			n := t.backupNode[i]
+			if !t.failover() || n < 0 || !t.sup.Probe(n) {
+				continue
+			}
+			b := ps.NewServerOpts(make([]float32, t.ranges[i].Len()), t.cfg.LR, t.expected, t.cfg.Optim)
+			t.register(n, b)
+			if !t.resync(i, n) {
+				continue
+			}
+			t.backups[i] = b
+			t.arm(i)
+			t.sup.WatchNodes([]int{n})
+			t.sup.Record(supervise.EventPSResync, n, epoch,
+				fmt.Sprintf("range %d: fresh backup spawned and snapshot-synced at version %d", i, t.primaries[i].Version()))
+			t.obs.resyncs.Inc()
+			continue
+		}
+		if t.primaries[i].ReplicaStale() && t.resync(i, t.backupNode[i]) {
+			t.primaries[i].MarkReplicaFresh()
+			t.sup.Record(supervise.EventPSResync, t.backupNode[i], epoch,
+				fmt.Sprintf("range %d: stale backup re-synced at version %d", i, t.primaries[i].Version()))
+			t.obs.resyncs.Inc()
+		}
+	}
+}
+
+// resync ships a full snapshot of range i's primary to the server at node
+// over the ordinary transport, so re-sync traffic shares the fault layers
+// and byte accounting of everything else.
+func (t *psTier) resync(i, node int) bool {
+	st := t.primaries[i].Snapshot()
+	_, err := t.net.Call(t.primaryNode[i], node, ps.MethodRepl, ps.EncodeState(st))
+	return err == nil
+}
+
+// restoreBackups overwrites every backup from its primary after an
+// engine-side restore (resume or rollback). A rollback rewinds versions,
+// which the replication stream (ApplyReplica) refuses by design, so the
+// engine — which holds both objects — restores directly and re-arms
+// shipping.
+func (t *psTier) restoreBackups() error {
+	for i, b := range t.backups {
+		if b == nil {
+			continue
+		}
+		if err := b.Restore(t.primaries[i].Snapshot()); err != nil {
+			return fmt.Errorf("core: restore backup for range %d: %w", i, err)
+		}
+		t.primaries[i].MarkReplicaFresh()
+	}
+	return nil
+}

@@ -40,17 +40,17 @@ import (
 	"ecgraph/internal/transport"
 )
 
-// supervisedRun carries the engine-side recovery state across epochs.
+// supervisedRun carries the engine-side recovery state across epochs. The
+// parameter-server fleet is reached through cl.tier, never a captured
+// slice: a failover promotion swaps server objects mid-run, and rollback
+// must restore whichever object currently owns each range.
 type supervisedRun struct {
-	cfg     *Config
-	sup     *supervise.Supervisor
-	net     transport.Network
-	cl      *cluster
-	servers []*ps.Server
-	ranges  []ps.Range
-	dims    []int
-	diag    *ps.Client // version reads during recovery
-	res     *Result
+	cfg  *Config
+	sup  *supervise.Supervisor
+	net  transport.Network
+	cl   *cluster
+	dims []int
+	res  *Result
 
 	startEpoch int
 	// initState snapshots the servers before the first epoch so a rollback
@@ -72,25 +72,20 @@ type supervisedRun struct {
 }
 
 func newSupervisedRun(cfg *Config, sup *supervise.Supervisor, net transport.Network,
-	cl *cluster,
-	servers []*ps.Server, serverNodes []int, ranges []ps.Range, dims []int,
-	startEpoch int, res *Result) *supervisedRun {
+	cl *cluster, dims []int, startEpoch int, res *Result) *supervisedRun {
 	sv := &supervisedRun{
 		cfg:           cfg,
 		sup:           sup,
 		net:           net,
 		cl:            cl,
-		servers:       servers,
-		ranges:        ranges,
 		dims:          dims,
-		diag:          ps.NewClient(net, serverNodes[0], serverNodes, ranges),
 		res:           res,
 		startEpoch:    startEpoch,
 		initBestVal:   res.BestVal,
 		initBestEpoch: res.BestEpoch,
 		initTestBest:  res.TestAccuracy,
 	}
-	for _, srv := range servers {
+	for _, srv := range cl.tier.primaries {
 		sv.initState = append(sv.initState, srv.Snapshot())
 	}
 	return sv
@@ -158,6 +153,21 @@ func (sv *supervisedRun) recover(t int, cause error) (int, error) {
 	}
 	time.Sleep(opts.RecoveryBackoff)
 
+	// Heal the PS tier before anything else: a dead monitor fails every
+	// probe issued from it, so diagnosing the workers first would declare
+	// the whole cluster crashed. A clean promotion needs no rollback — the
+	// backup holds bitwise-identical state at the handed-over version; a
+	// stale backup or a from-scratch respawn cannot carry the trajectory
+	// and falls through to rollback-and-replay.
+	if rollbackReason, err := sv.cl.tier.recoverPS(t, sv.cl.active[0]); err != nil {
+		return 0, err
+	} else if rollbackReason != "" {
+		if !opts.AutoRollback {
+			return 0, fmt.Errorf("core: %s at epoch %d (auto-rollback disabled): %w", rollbackReason, t, cause)
+		}
+		return sv.rollback(t, rollbackReason)
+	}
+
 	// Probe every worker; give crashed ones up to DeadAfter so the
 	// suspect→dead transitions accrue and land in the run log before
 	// recovery acts. A window that heals mid-wait empties the crashed set
@@ -220,7 +230,7 @@ func (sv *supervisedRun) recover(t int, cause error) (int, error) {
 			return 0, fmt.Errorf("core: %s at epoch %d: %w", reason, t, cause)
 		}
 		detail := "ghost features refetched; params from PS on next pull"
-		if vs, err := sv.diag.ServerVersions(); err == nil {
+		if vs, err := sv.cl.tier.serverVersions(); err == nil {
 			detail = fmt.Sprintf("%s (server versions %v)", detail, vs)
 		}
 		sv.sup.Record(supervise.EventRehydrate, i, t, detail)
@@ -280,7 +290,7 @@ func (sv *supervisedRun) rollback(t int, reason string) (int, error) {
 	if sv.cfg.CheckpointPath != "" {
 		if ckpt, err := LoadCheckpointFile(sv.cfg.CheckpointPath); err == nil {
 			if ckpt.compatibleWith(sv.cfg.Kind, sv.dims) == nil && ckpt.Epoch >= sv.startEpoch {
-				if err := restoreServers(sv.servers, sv.ranges, ckpt); err != nil {
+				if err := restoreServers(sv.cl.tier.primaries, sv.cl.ranges, ckpt); err != nil {
 					return 0, fmt.Errorf("core: rollback: %w", err)
 				}
 				target = ckpt.Epoch
@@ -292,7 +302,7 @@ func (sv *supervisedRun) rollback(t int, reason string) (int, error) {
 		}
 	}
 	if !restored {
-		for i, srv := range sv.servers {
+		for i, srv := range sv.cl.tier.primaries {
 			if err := srv.Restore(sv.initState[i]); err != nil {
 				return 0, fmt.Errorf("core: rollback to initial state: %w", err)
 			}
@@ -300,6 +310,11 @@ func (sv *supervisedRun) rollback(t int, reason string) (int, error) {
 		sv.res.BestVal = sv.initBestVal
 		sv.res.BestEpoch = sv.initBestEpoch
 		sv.res.TestAccuracy = sv.initTestBest
+	}
+	// Backups follow the rewind: the replication stream refuses version
+	// regressions by design, so the engine restores them directly.
+	if err := sv.cl.tier.restoreBackups(); err != nil {
+		return 0, err
 	}
 	sv.res.Epochs = sv.res.Epochs[:target-sv.startEpoch]
 	sv.lossN, sv.lossMean, sv.lossM2 = 0, 0, 0

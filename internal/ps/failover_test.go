@@ -1,0 +1,293 @@
+package ps
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"ecgraph/internal/transport"
+)
+
+// TestVersionSkewRecovery drives the reconciliation path MethodVersion
+// exists for: an epoch whose barrier completes on one range but not the
+// other leaves the servers one version apart; the replayed epoch must
+// version-exact-pull the old parameters, complete the lagging range, and be
+// acknowledged as stale by the advanced range without double-applying.
+// Pushes and pulls run from concurrent worker goroutines so -race guards
+// the server's locking too.
+func TestVersionSkewRecovery(t *testing.T) {
+	const workers = 3
+	total := 8
+	ranges := Ranges(total, 2)
+	initial := make([]float32, total)
+	for i := range initial {
+		initial[i] = float32(i) * 0.25
+	}
+	net := transport.NewInProc(workers + 2)
+	var servers [2]*Server
+	for i, rg := range ranges {
+		servers[i] = NewServer(initial[rg.Lo:rg.Hi], 0.05, workers)
+		net.Register(workers+i, servers[i].Handler())
+	}
+	clients := make([]*Client, workers)
+	for w := range clients {
+		clients[w] = NewClient(net, w, []int{workers, workers + 1}, ranges)
+	}
+	grads := func(w int) []float32 {
+		g := make([]float32, total)
+		for i := range g {
+			g[i] = float32(w+1) * 0.1
+		}
+		return g
+	}
+
+	// Epoch 0, first attempt: every worker reaches range 0, but worker
+	// 2's push to range 1 is lost (its node dies mid-push) — range 0's
+	// barrier completes, range 1's does not.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := grads(w)
+			// Push the ranges in order, like Client.Push, but stop worker 2
+			// before range 1.
+			for i := 0; i < 2; i++ {
+				if w == 2 && i == 1 {
+					return
+				}
+				pw := transport.NewWriter(12)
+				pw.Uint32(0)
+				pw.Int32(int32(w))
+				pw.Float32s(g[ranges[i].Lo:ranges[i].Hi])
+				if _, err := net.Call(w, workers+i, MethodPush, pw.Bytes()); err != nil {
+					t.Errorf("worker %d push range %d: %v", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	vs, err := clients[0].ServerVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0] != 1 || vs[1] != 0 {
+		t.Fatalf("versions after partial epoch = %v, want [1 0]", vs)
+	}
+	advanced := servers[0].Snapshot()
+
+	// Replay epoch 0: each worker pulls version 0 — which must be the
+	// *initial* parameters on both ranges, even though range 0 already
+	// advanced — recomputes the same gradients, and pushes both ranges.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := clients[w].Pull(0)
+			if err != nil {
+				t.Errorf("worker %d version-exact pull: %v", w, err)
+				return
+			}
+			for i, v := range p {
+				if v != initial[i] {
+					t.Errorf("worker %d pulled version 0 param %d = %v, want %v", w, i, v, initial[i])
+					return
+				}
+			}
+			if err := clients[w].Push(0, grads(w)); err != nil {
+				t.Errorf("worker %d replay push: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	vs, err = clients[0].ServerVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0] != 1 || vs[1] != 1 {
+		t.Fatalf("versions after replay = %v, want [1 1]", vs)
+	}
+	// The advanced range acknowledged the replayed pushes as stale: its
+	// state is bitwise what it was before the replay.
+	if got := servers[0].Snapshot(); !statesEqual(got, advanced) {
+		t.Fatalf("advanced range double-applied the replayed epoch")
+	}
+	// And both ranges now hold the same trajectory a clean run would: the
+	// replay's gradients equal the first attempt's, so range 1's state must
+	// equal what a lone server fed the same pushes produces.
+	oracle := NewServer(initial[ranges[1].Lo:ranges[1].Hi], 0.05, workers)
+	for w := 0; w < workers; w++ {
+		g := grads(w)
+		if err := oracle.push(0, w, g[ranges[1].Lo:ranges[1].Hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !statesEqual(servers[1].Snapshot(), oracle.Snapshot()) {
+		t.Fatalf("lagging range diverged from the clean-run oracle")
+	}
+}
+
+func statesEqual(a, b State) bool {
+	if a.Version != b.Version || a.AdamT != b.AdamT || a.LR != b.LR {
+		return false
+	}
+	if len(a.Params) != len(b.Params) || len(a.AdamM) != len(b.AdamM) || len(a.AdamV) != len(b.AdamV) {
+		return false
+	}
+	for i := range a.Params {
+		if math.Float32bits(a.Params[i]) != math.Float32bits(b.Params[i]) {
+			return false
+		}
+	}
+	for i := range a.AdamM {
+		if math.Float64bits(a.AdamM[i]) != math.Float64bits(b.AdamM[i]) ||
+			math.Float64bits(a.AdamV[i]) != math.Float64bits(b.AdamV[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLogShipKeepsBackupBitwise wires a primary's ship hook to a backup the
+// way the engine does and checks the backup tracks every applied update
+// bitwise, including Adam moments and decayed LR, and can serve a
+// version-exact pull after promotion.
+func TestLogShipKeepsBackupBitwise(t *testing.T) {
+	const workers = 2
+	initial := []float32{0.5, -0.25, 1.0}
+	net := transport.NewInProc(workers + 2)
+	primary := NewServerOpts(initial, 0.1, workers, ServerOptions{LRDecay: 0.9})
+	backup := NewServerOpts(initial, 0.1, workers, ServerOptions{LRDecay: 0.9})
+	net.Register(workers, primary.Handler())
+	net.Register(workers+1, backup.Handler())
+	primary.SetShip(func(st State) error {
+		_, err := net.Call(workers, workers+1, MethodRepl, EncodeState(st))
+		return err
+	})
+
+	routes := NewRoutes([]int{workers})
+	ranges := []Range{{Lo: 0, Hi: len(initial)}}
+	clients := make([]*Client, workers)
+	for w := range clients {
+		clients[w] = NewClientRoutes(net, w, routes, ranges)
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		for w := 0; w < workers; w++ {
+			if err := clients[w].Push(epoch, []float32{0.1, -0.2, 0.3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if primary.ReplicaStale() {
+		t.Fatalf("replica marked stale with a healthy backup")
+	}
+	if !statesEqual(primary.Snapshot(), backup.Snapshot()) {
+		t.Fatalf("backup state diverged from primary after log-shipping")
+	}
+
+	// Promote: reroute the range, then pull the current version through the
+	// shared table — it must come from the backup, bitwise equal.
+	want, err := clients[0].Pull(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := routes.SetPrimary(0, workers+1); gen != 1 {
+		t.Fatalf("route generation = %d, want 1", gen)
+	}
+	got, err := clients[1].Pull(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+			t.Fatalf("promoted pull differs at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShipFailureMarksStale checks the backup-crash-mid-sync row of the
+// failure matrix: a failed ship flags the replica stale, later updates stop
+// shipping (one failure, not one per epoch), and a full-snapshot re-sync
+// via ApplyReplica plus MarkReplicaFresh re-arms the hook.
+func TestShipFailureMarksStale(t *testing.T) {
+	initial := []float32{1, 2}
+	primary := NewServer(initial, 0.1, 1)
+	backup := NewServer(initial, 0.1, 1)
+	shipped, down := 0, true
+	primary.SetShip(func(st State) error {
+		if down {
+			return errors.New("backup unreachable")
+		}
+		shipped++
+		return backup.ApplyReplica(st)
+	})
+
+	if err := primary.push(0, 0, []float32{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if !primary.ReplicaStale() {
+		t.Fatalf("failed ship did not mark the replica stale")
+	}
+	if err := primary.push(1, 0, []float32{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 0 {
+		t.Fatalf("stale replica still being shipped to")
+	}
+
+	// Re-sync: full snapshot, then fresh — the next update ships again.
+	down = false
+	if err := backup.ApplyReplica(primary.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	primary.MarkReplicaFresh()
+	if err := primary.push(2, 0, []float32{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 1 {
+		t.Fatalf("re-armed ship did not fire, shipped = %d", shipped)
+	}
+	if !statesEqual(primary.Snapshot(), backup.Snapshot()) {
+		t.Fatalf("backup diverged after re-sync")
+	}
+}
+
+// TestEncodeDecodeState pins the replication wire format round trip,
+// bitwise.
+func TestEncodeDecodeState(t *testing.T) {
+	st := State{
+		Params:  []float32{1.5, -2.25, 0},
+		AdamM:   []float64{0.1, -0.00000000001, 3},
+		AdamV:   []float64{4, 5, 1e-300},
+		AdamT:   7,
+		LR:      0.012345678901234567,
+		Version: 42,
+	}
+	got := DecodeState(EncodeState(st))
+	if !statesEqual(got, st) {
+		t.Fatalf("state round trip not bitwise: %+v != %+v", got, st)
+	}
+}
+
+// TestPullEvictedVersionFails pins the history bound: a pull for a version
+// older than the retained window errors instead of silently serving newer
+// parameters.
+func TestPullEvictedVersionFails(t *testing.T) {
+	s := NewServer([]float32{0}, 0.1, 1)
+	for v := 0; v < historyDepth+2; v++ {
+		if err := s.push(v, 0, []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.pullWait(1); err == nil {
+		t.Fatalf("pull of evicted version succeeded")
+	}
+	// The oldest retained version still serves.
+	oldest := s.Version() - historyDepth + 1
+	if _, err := s.pullWait(oldest); err != nil {
+		t.Fatalf("pull of retained version %d failed: %v", oldest, err)
+	}
+}

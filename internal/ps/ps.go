@@ -29,6 +29,11 @@ const (
 	// far each range advanced before a worker died (a failed epoch can leave
 	// servers one version apart when only some ranges completed the barrier).
 	MethodVersion = "ps.version"
+	// MethodRepl carries a full encoded State from a range's primary to its
+	// hot-standby backup: each applied update is log-shipped inside the push
+	// critical section (see SetShip), and a full snapshot travels the same
+	// way when the engine re-syncs a fresh or stale backup.
+	MethodRepl = "ps.repl"
 )
 
 // Range is a half-open slice [Lo, Hi) of the flat parameter vector.
@@ -71,6 +76,13 @@ type ServerOptions struct {
 	LRDecay float64
 }
 
+// historyDepth bounds the per-version parameter snapshots a server retains
+// for version-exact pulls. Synchronous training keeps ranges at most one
+// version apart (a failed epoch can complete the barrier on some ranges but
+// not others), so a handful of versions is ample headroom; a pull for an
+// evicted version fails loudly instead of silently serving newer state.
+const historyDepth = 8
+
 // Server owns one parameter range with its Adam state.
 type Server struct {
 	mu   sync.Mutex
@@ -83,6 +95,17 @@ type Server struct {
 	pending  []float32
 	expected int               // workers per epoch
 	contribs map[int][]float32 // per-worker gradients for the current version
+
+	// history maps version → the parameters as of that version, for the
+	// last historyDepth versions. Version-exact pulls keep a replayed epoch
+	// bitwise identical even when another range already advanced past it.
+	history map[int][]float32
+
+	// ship, when set, replicates each applied update to the range's backup
+	// before the new version becomes observable (it runs under mu). A failed
+	// ship marks the replica stale until the engine re-syncs it.
+	ship      func(State) error
+	shipStale bool
 }
 
 // NewServer creates a server owning the given initial parameter slice
@@ -104,6 +127,7 @@ func NewServerOpts(initial []float32, lr float64, expectedWorkers int, opts Serv
 		pending:  make([]float32, len(initial)),
 		expected: expectedWorkers,
 		contribs: make(map[int][]float32),
+		history:  map[int][]float32{0: append([]float32(nil), initial...)},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -123,7 +147,10 @@ func (s *Server) Handler() transport.Handler {
 		case MethodPull:
 			r := transport.NewReader(req)
 			version := int(r.Uint32())
-			params := s.pullWait(version)
+			params, err := s.pullWait(version)
+			if err != nil {
+				return nil, err
+			}
 			w := transport.NewWriter(4 + len(params)*4)
 			w.Float32s(params)
 			return w.Bytes(), nil
@@ -140,6 +167,11 @@ func (s *Server) Handler() transport.Handler {
 			w := transport.NewWriter(4)
 			w.Uint32(uint32(s.Version()))
 			return w.Bytes(), nil
+		case MethodRepl:
+			if err := s.ApplyReplica(DecodeState(req)); err != nil {
+				return nil, err
+			}
+			return nil, nil
 		default:
 			return nil, fmt.Errorf("ps: unknown method %q", method)
 		}
@@ -147,14 +179,33 @@ func (s *Server) Handler() transport.Handler {
 }
 
 // pullWait blocks until version updates have been applied, then returns a
-// snapshot of the parameters.
-func (s *Server) pullWait(version int) []float32 {
+// snapshot of the parameters *as of exactly that version*. Serving the
+// requested version rather than the newest one matters for crash recovery:
+// a replayed epoch can find one range a version ahead (its barrier completed
+// before the crash), and a version-exact pull keeps the replay's inputs —
+// and therefore the whole trajectory — bitwise identical to a run that
+// never crashed, while the advanced range acknowledges the replayed pushes
+// as stale.
+func (s *Server) pullWait(version int) ([]float32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.version < version {
 		s.cond.Wait()
 	}
-	return append([]float32(nil), s.params...)
+	if version == s.version {
+		return append([]float32(nil), s.params...), nil
+	}
+	if p, ok := s.history[version]; ok {
+		return append([]float32(nil), p...), nil
+	}
+	return nil, fmt.Errorf("ps: version %d evicted (server at %d, keeps %d)", version, s.version, historyDepth)
+}
+
+// recordHistoryLocked archives the current parameters under the current
+// version and evicts the oldest retained snapshot. Callers hold s.mu.
+func (s *Server) recordHistoryLocked() {
+	s.history[s.version] = append([]float32(nil), s.params...)
+	delete(s.history, s.version-historyDepth)
 }
 
 // push records one worker's gradients for the given version; the last
@@ -211,6 +262,16 @@ func (s *Server) push(version, worker int, grads []float32) error {
 		}
 		s.contribs = make(map[int][]float32)
 		s.version++
+		s.recordHistoryLocked()
+		// Log-ship the applied update before releasing the lock: no pull can
+		// observe the new version until the backup holds it (or the ship
+		// failed and the replica is flagged stale), so a promotion after a
+		// successful ship hands over bitwise-identical state.
+		if s.ship != nil && !s.shipStale {
+			if err := s.ship(s.snapshotLocked()); err != nil {
+				s.shipStale = true
+			}
+		}
 		s.cond.Broadcast()
 	}
 	return nil
@@ -262,6 +323,10 @@ type State struct {
 func (s *Server) Snapshot() State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Server) snapshotLocked() State {
 	m, v, t := s.opt.Snapshot()
 	return State{
 		Params:  append([]float32(nil), s.params...),
@@ -271,6 +336,61 @@ func (s *Server) Snapshot() State {
 		LR:      s.opt.LR,
 		Version: s.version,
 	}
+}
+
+// SetShip installs (or, with nil, removes) the replication hook: fn is
+// called with every applied update's full post-Adam state, inside the push
+// critical section, before the new version becomes observable. The engine
+// wires fn to a MethodRepl call against the range's backup node. A fn error
+// marks the replica stale — shipping stops until MarkReplicaFresh, so one
+// dead backup costs one failed call per epoch, not one per retry.
+func (s *Server) SetShip(fn func(State) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ship = fn
+	s.shipStale = false
+}
+
+// ReplicaStale reports whether a ship failed since the hook was installed
+// or last marked fresh, i.e. the backup is missing at least one update and
+// must not be promoted without a re-sync.
+func (s *Server) ReplicaStale() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ship != nil && s.shipStale
+}
+
+// MarkReplicaFresh re-arms shipping after the engine has re-synced the
+// backup with a full snapshot.
+func (s *Server) MarkReplicaFresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shipStale = false
+}
+
+// ApplyReplica installs a log-shipped state on a backup. Unlike Restore it
+// accumulates the version history across successive ships, so a promoted
+// backup can serve version-exact pulls for the versions it was shipped —
+// exactly the ones a replayed epoch may ask for.
+func (s *Server) ApplyReplica(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(st.Params) != len(s.params) {
+		return fmt.Errorf("ps: replicate %d params into range of %d", len(st.Params), len(s.params))
+	}
+	if st.Version < s.version {
+		return fmt.Errorf("ps: replica state for version %d behind server version %d", st.Version, s.version)
+	}
+	if err := s.opt.Restore(st.AdamM, st.AdamV, st.AdamT); err != nil {
+		return err
+	}
+	copy(s.params, st.Params)
+	s.opt.LR = st.LR
+	s.version = st.Version
+	s.contribs = make(map[int][]float32)
+	s.recordHistoryLocked()
+	s.cond.Broadcast()
+	return nil
 }
 
 // Restore overwrites the server's state from a snapshot, letting a crashed
@@ -288,8 +408,38 @@ func (s *Server) Restore(st State) error {
 	s.opt.LR = st.LR
 	s.version = st.Version
 	s.contribs = make(map[int][]float32)
+	// A rollback rewinds time: snapshots past the restored version are no
+	// longer on the trajectory, so the history restarts from this state.
+	s.history = map[int][]float32{s.version: append([]float32(nil), st.Params...)}
 	s.cond.Broadcast()
 	return nil
+}
+
+// EncodeState serialises a State for MethodRepl and engine-driven re-syncs.
+// Adam moments travel as float64 so a promoted backup's optimiser trajectory
+// is bitwise identical to the primary's.
+func EncodeState(st State) []byte {
+	w := transport.NewWriter(16 + 4*len(st.Params) + 16*len(st.AdamM))
+	w.Uint32(uint32(st.Version))
+	w.Uint32(uint32(st.AdamT))
+	w.Float64(st.LR)
+	w.Float32s(st.Params)
+	w.Float64s(st.AdamM)
+	w.Float64s(st.AdamV)
+	return w.Bytes()
+}
+
+// DecodeState parses EncodeState's wire form.
+func DecodeState(b []byte) State {
+	r := transport.NewReader(b)
+	st := State{}
+	st.Version = int(r.Uint32())
+	st.AdamT = int(r.Uint32())
+	st.LR = r.Float64()
+	st.Params = r.Float32s()
+	st.AdamM = r.Float64s()
+	st.AdamV = r.Float64s()
+	return st
 }
 
 // clipNorm scales g so its L2 norm does not exceed maxNorm.
@@ -308,34 +458,47 @@ func clipNorm(g []float32, maxNorm float64) {
 	}
 }
 
-// Client is a worker-side view of the server fleet.
+// Client is a worker-side view of the server fleet. Every call resolves its
+// destination through the shared route table, so a failover promotion
+// reroutes all workers without touching them.
 type Client struct {
-	net     transport.Network
-	worker  int   // this worker's node id
-	servers []int // server node ids, one per range
-	ranges  []Range
-	total   int
+	net    transport.Network
+	worker int // this worker's node id
+	routes *Routes
+	ranges []Range
+	total  int
 }
 
 // NewClient builds a client for worker node worker talking to the given
-// server nodes, each owning the corresponding range of a total-length
-// parameter vector.
+// fixed server nodes, each owning the corresponding range of a total-length
+// parameter vector. For a cluster with failover, share a table across
+// clients with NewClientRoutes instead.
 func NewClient(net transport.Network, worker int, servers []int, ranges []Range) *Client {
-	if len(servers) != len(ranges) {
-		panic(fmt.Sprintf("ps: %d servers for %d ranges", len(servers), len(ranges)))
+	return NewClientRoutes(net, worker, NewRoutes(servers), ranges)
+}
+
+// NewClientRoutes is NewClient against a shared, mutable route table: the
+// failover path re-points a range at its promoted backup in the table and
+// every client follows at its next call.
+func NewClientRoutes(net transport.Network, worker int, routes *Routes, ranges []Range) *Client {
+	if routes.Len() != len(ranges) {
+		panic(fmt.Sprintf("ps: %d routed servers for %d ranges", routes.Len(), len(ranges)))
 	}
 	total := 0
 	for _, r := range ranges {
 		total += r.Len()
 	}
-	return &Client{net: net, worker: worker, servers: servers, ranges: ranges, total: total}
+	return &Client{net: net, worker: worker, routes: routes, ranges: ranges, total: total}
 }
 
 // Pull fetches the full flat parameter vector at the given version,
-// blocking until every server has applied that many updates.
+// blocking until every server has applied that many updates. Each range is
+// served at exactly the requested version (see Server.pullWait), so pulls
+// during a replayed epoch are bitwise reproducible.
 func (c *Client) Pull(version int) ([]float32, error) {
 	out := make([]float32, c.total)
-	for i, srv := range c.servers {
+	for i := range c.ranges {
+		srv := c.routes.Primary(i)
 		w := transport.NewWriter(4)
 		w.Uint32(uint32(version))
 		resp, err := c.net.Call(c.worker, srv, MethodPull, w.Bytes())
@@ -355,9 +518,9 @@ func (c *Client) Pull(version int) ([]float32, error) {
 // Pull it never blocks, so recovery can read the fleet's progress while an
 // epoch barrier is incomplete.
 func (c *Client) ServerVersions() ([]int, error) {
-	out := make([]int, len(c.servers))
-	for i, srv := range c.servers {
-		resp, err := c.net.Call(c.worker, srv, MethodVersion, nil)
+	out := make([]int, len(c.ranges))
+	for i := range c.ranges {
+		resp, err := c.net.Call(c.worker, c.routes.Primary(i), MethodVersion, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -373,12 +536,12 @@ func (c *Client) Push(version int, grads []float32) error {
 	if len(grads) != c.total {
 		return fmt.Errorf("ps: pushing %d grads, total is %d", len(grads), c.total)
 	}
-	for i, srv := range c.servers {
+	for i := range c.ranges {
 		w := transport.NewWriter(12 + c.ranges[i].Len()*4)
 		w.Uint32(uint32(version))
 		w.Int32(int32(c.worker))
 		w.Float32s(grads[c.ranges[i].Lo:c.ranges[i].Hi])
-		if _, err := c.net.Call(c.worker, srv, MethodPush, w.Bytes()); err != nil {
+		if _, err := c.net.Call(c.worker, c.routes.Primary(i), MethodPush, w.Bytes()); err != nil {
 			return err
 		}
 	}

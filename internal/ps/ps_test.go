@@ -273,7 +273,10 @@ func TestGradientClipping(t *testing.T) {
 	}
 	// After one huge clipped step, params should have moved by roughly the
 	// Adam step size (≈ lr), not exploded.
-	p := s.pullWait(1)
+	p, err := s.pullWait(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range p {
 		if v < -1.5 || v > 1.5 {
 			t.Fatalf("clipped step still exploded: %v", p)

@@ -146,6 +146,15 @@ const (
 	// EventHandoff: vertex state (embeddings, EC residuals, caches) was
 	// shipped from an old owner to a new one during a view transition.
 	EventHandoff
+	// EventPSPromote: a parameter-server range's hot-standby backup was
+	// promoted to primary after the primary died.
+	EventPSPromote
+	// EventPSResync: a backup received a full-snapshot re-sync (fresh spawn
+	// after a promotion, or recovery from a failed log-ship).
+	EventPSResync
+	// EventMonitorElect: monitor duty moved to another parameter-server
+	// node after the monitor died.
+	EventMonitorElect
 )
 
 // String implements fmt.Stringer.
@@ -177,6 +186,12 @@ func (k EventKind) String() string {
 		return "view-change"
 	case EventHandoff:
 		return "handoff"
+	case EventPSPromote:
+		return "ps-promote"
+	case EventPSResync:
+		return "ps-resync"
+	case EventMonitorElect:
+		return "monitor-elect"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -215,14 +230,15 @@ type latencySource interface {
 // workers consult it (through the worker.PeerHealth interface it
 // satisfies) inside the ghost exchange.
 type Supervisor struct {
-	opts    Options
-	net     transport.Network
-	lat     latencySource // nil when the transport keeps no latency stats
-	monitor int
-	det     *Detector
+	opts Options
+	net  transport.Network
+	lat  latencySource // nil when the transport keeps no latency stats
+	det  *Detector
 
 	mu       sync.Mutex
+	monitor  int   // current monitor node; moves on re-election (SetMonitor)
 	workers  []int // current roster, ascending; updated by SetWorkers
+	watched  []int // non-worker nodes under supervision (the PS tier)
 	events   []Event
 	reported map[int]Status // last status change already logged per worker
 
@@ -308,6 +324,9 @@ func (s *Supervisor) Start() {
 	for _, node := range s.workers {
 		s.startEmitterLocked(node)
 	}
+	for _, node := range s.watched {
+		s.startEmitterLocked(node)
+	}
 }
 
 // startEmitterLocked spawns the heartbeat emitter for one node; the caller
@@ -334,7 +353,9 @@ func (s *Supervisor) startEmitterLocked(node int) {
 			w := transport.NewWriter(8)
 			w.Int32(int32(node))
 			w.Uint32(seq)
-			if _, err := s.net.Call(node, s.monitor, MethodBeat, w.Bytes()); err != nil {
+			// The monitor is re-read every beat so emitters re-target after a
+			// monitor re-election without being restarted.
+			if _, err := s.net.Call(node, s.Monitor(), MethodBeat, w.Bytes()); err != nil {
 				s.addBeat(node, false)
 			} else {
 				s.addBeat(node, true)
@@ -384,6 +405,70 @@ func (s *Supervisor) Stop() {
 	}
 	s.mu.Unlock()
 	s.emitWG.Wait()
+}
+
+// Monitor returns the node currently hosting the supervision and
+// membership control plane.
+func (s *Supervisor) Monitor() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.monitor
+}
+
+// SetMonitor moves monitor duty to another node — the re-election step
+// after the monitor dies. Running heartbeat emitters re-target at their
+// next beat; probes originate from the new monitor from now on. The caller
+// must have wrapped the new node's handler with WrapHandler (the engine
+// wraps every parameter-server node up front, so any of them can take
+// over without a handler swap).
+func (s *Supervisor) SetMonitor(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.monitor = node
+}
+
+// WatchNodes places additional non-worker nodes (the parameter-server
+// tier) under supervision: each gets a detector registration and a
+// heartbeat emitter, like a worker, but stays out of the worker roster so
+// membership transitions (SetWorkers) never touch it. The monitor node
+// itself beats over a local call that no fault layer touches — its death is
+// established by probing from other nodes, not by phi.
+func (s *Supervisor) WatchNodes(nodes []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	have := make(map[int]bool, len(s.watched))
+	for _, n := range s.watched {
+		have[n] = true
+	}
+	for _, n := range nodes {
+		if have[n] {
+			continue
+		}
+		s.watched = append(s.watched, n)
+		s.det.Register(n)
+		if s.running {
+			s.startEmitterLocked(n)
+		}
+	}
+	sort.Ints(s.watched)
+}
+
+// Unwatch removes a node from the watched set (a departed PS node whose id
+// will be reused by a respawned backup), stopping its emitter.
+func (s *Supervisor) Unwatch(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, n := range s.watched {
+		if n == node {
+			s.watched = append(s.watched[:i], s.watched[i+1:]...)
+			break
+		}
+	}
+	if stop, ok := s.emitters[node]; ok {
+		close(stop)
+		delete(s.emitters, node)
+	}
+	delete(s.reported, node)
 }
 
 // Workers returns the current roster (ascending node ids).
@@ -469,7 +554,15 @@ func (s *Supervisor) Dead() []int {
 // Probe sends one liveness ping from the monitor node; a response means
 // the node is reachable again and counts as a heartbeat.
 func (s *Supervisor) Probe(node int) bool {
-	if _, err := s.net.Call(s.monitor, node, MethodPing, nil); err != nil {
+	return s.ProbeFrom(s.Monitor(), node)
+}
+
+// ProbeFrom sends one liveness ping from an arbitrary source node — how
+// the failover path checks whether the *monitor itself* is reachable, a
+// question the monitor cannot answer about itself (its self-probe is a
+// local call no fault layer touches).
+func (s *Supervisor) ProbeFrom(src, node int) bool {
+	if _, err := s.net.Call(src, node, MethodPing, nil); err != nil {
 		return false
 	}
 	s.det.Beat(node)

@@ -54,6 +54,14 @@ type ChaosConfig struct {
 	// delivery (a latency spike on the link).
 	LatencyRate float64
 	Latency     time.Duration
+	// CorruptRate is the probability a call's payload is flipped in transit
+	// and caught by the frame checksum: the call fails with an error wrapping
+	// both ErrCorrupt and ErrInjected before reaching the handler, exactly
+	// what the TCP layer's CRC32-C produces for a genuinely damaged frame.
+	// (Chaos sits above the framing layer, so the detection is simulated here
+	// rather than by flipping real wire bytes — flipped bytes below this
+	// wrapper would be checksummed as written and sail through.)
+	CorruptRate float64
 	// Crash lists per-node outage windows over each pair's call sequence.
 	Crash []CrashWindow
 	// Departures lists nodes that leave permanently once each pair's call
@@ -67,7 +75,7 @@ type ChaosConfig struct {
 
 // ChaosStats counts the faults the wrapper has injected since creation.
 type ChaosStats struct {
-	Drops, Errors, Spikes, CrashedCalls, DepartedCalls int64
+	Drops, Errors, Spikes, CrashedCalls, DepartedCalls, Corrupts int64
 }
 
 // FaultEvent records one injected fault for determinism auditing.
@@ -108,7 +116,7 @@ type Chaos struct {
 	depMu    sync.Mutex
 	departed map[int]bool
 
-	drops, errs, spikes, crashed, departs atomic.Int64
+	drops, errs, spikes, crashed, departs, corrupts atomic.Int64
 }
 
 // NewChaos wraps inner with the given fault configuration.
@@ -124,6 +132,7 @@ func (c *Chaos) Injected() ChaosStats {
 		Spikes:        c.spikes.Load(),
 		CrashedCalls:  c.crashed.Load(),
 		DepartedCalls: c.departs.Load(),
+		Corrupts:      c.corrupts.Load(),
 	}
 }
 
@@ -289,7 +298,10 @@ func (c *Chaos) Call(src, dst int, method string, req []byte) ([]byte, error) {
 		}
 	}
 	h := chaosMix(uint64(c.cfg.Seed), uint64(src)<<32^uint64(uint32(dst)), uint64(n))
-	var u [3]float64
+	// Each fault kind takes its own uniform draw from the pair's stream; the
+	// draws are sequential, so adding a kind at the end leaves the schedules
+	// of the earlier kinds untouched for a fixed seed.
+	var u [4]float64
 	for i := range u {
 		h = splitmix64(h)
 		u[i] = float64(h>>11) / (1 << 53)
@@ -303,6 +315,11 @@ func (c *Chaos) Call(src, dst int, method string, req []byte) ([]byte, error) {
 		c.errs.Add(1)
 		c.record(src, dst, n, "error", method)
 		return nil, fmt.Errorf("chaos: error response for %s %d→%d: %w", method, src, dst, ErrInjected)
+	}
+	if u[3] < c.cfg.CorruptRate {
+		c.corrupts.Add(1)
+		c.record(src, dst, n, "corrupt", method)
+		return nil, fmt.Errorf("chaos: bit flip in %s %d→%d: %w: %w", method, src, dst, ErrCorrupt, ErrInjected)
 	}
 	if u[2] < c.cfg.LatencyRate && c.cfg.Latency > 0 {
 		c.spikes.Add(1)

@@ -89,6 +89,19 @@ func (w *Writer) Float32s(v []float32) {
 	}
 }
 
+// Float64 appends a little-endian float64.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Float64s appends a length-prefixed float64 slice — full-precision state
+// like Adam moments, where a float32 round trip would break bitwise
+// replica equivalence.
+func (w *Writer) Float64s(v []float64) {
+	w.Uint32(uint32(len(v)))
+	for _, x := range v {
+		w.Float64(x)
+	}
+}
+
 // Int32s appends a length-prefixed int32 slice.
 func (w *Writer) Int32s(v []int32) {
 	w.Uint32(uint32(len(v)))
@@ -201,6 +214,19 @@ func (r *Reader) Float32s() []float32 {
 	out := make([]float32, n)
 	for i := range out {
 		out[i] = r.Float32()
+	}
+	return out
+}
+
+// Float64 reads a little-endian float64.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Float64s reads a length-prefixed float64 slice.
+func (r *Reader) Float64s() []float64 {
+	n := int(r.Uint32())
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
 	}
 	return out
 }

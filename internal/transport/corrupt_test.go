@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFrameChecksumRoundTrip pins the frame format: what writeFrame emits,
+// readFrame accepts, and any single flipped payload bit is caught by the
+// CRC32-C and surfaced as ErrCorrupt.
+func TestFrameChecksumRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+	got, err := readFrame(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mangled: %q", got)
+	}
+
+	// Flip one bit in every payload position in turn; each must be caught.
+	for i := 8; i < len(wire); i++ {
+		damaged := append([]byte(nil), wire...)
+		damaged[i] ^= 0x10
+		_, err := readFrame(bytes.NewReader(damaged))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d not caught: %v", i, err)
+		}
+	}
+}
+
+// TestTCPClientRejectsCorruptResponse drives a response frame with a wrong
+// checksum at the client: the call must fail with ErrCorrupt (after the
+// one-shot redial hits the same bad server) rather than hand garbage to the
+// codec.
+func TestTCPClientRejectsCorruptResponse(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// A plausible-looking response payload (id + ok status + body) under a
+	// checksum that doesn't match it.
+	payload := []byte{1, 0, 0, 0, 0, 'h', 'i'}
+	reply := append(rawHeader(len(payload), 0xdeadbeef), payload...)
+	nw.addrs[1] = fakeServer(t, reply)
+	_, err = nw.Call(0, 1, "hi", []byte("x"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt response not surfaced as ErrCorrupt: %v", err)
+	}
+}
+
+// TestTCPServerDropsCorruptRequest sends a request frame with a damaged
+// payload at a server: the connection must be torn down (the stream is
+// unusable past a bad frame) and the node must keep serving clean traffic.
+func TestTCPServerDropsCorruptRequest(t *testing.T) {
+	nw, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Register(1, echoHandler)
+
+	// Build a valid request frame, then flip a payload bit without fixing
+	// the checksum.
+	payload := []byte{1, 0, 0, 0, 2, 'h', 'i', 'x'}
+	frame := append(frameHeader(payload), payload...)
+	frame[len(frame)-1] ^= 0x01
+	conn, err := net.Dial("tcp", nw.Addr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("server answered a corrupt frame with %d bytes", n)
+	}
+
+	if resp, err := nw.Call(0, 1, "hi", []byte("y")); err != nil || string(resp) != "hi/y" {
+		t.Fatalf("cluster unhealthy after corrupt request: %q %v", resp, err)
+	}
+}
+
+// TestChaosCorruptFault checks the injected corruption path: the call fails
+// before the handler runs, the error carries both sentinels, and the fault
+// is counted and logged with its own kind.
+func TestChaosCorruptFault(t *testing.T) {
+	inner := NewInProc(2)
+	handled := 0
+	inner.Register(1, func(method string, req []byte) ([]byte, error) {
+		handled++
+		return req, nil
+	})
+	c := NewChaos(inner, ChaosConfig{Seed: 1, CorruptRate: 1})
+	_, err := c.Call(0, 1, "m", []byte("x"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected corruption not marked ErrInjected: %v", err)
+	}
+	if handled != 0 {
+		t.Fatalf("corrupted call reached the handler")
+	}
+	if got := c.Injected().Corrupts; got != 1 {
+		t.Fatalf("Corrupts = %d, want 1", got)
+	}
+	log := c.FaultLog()
+	if len(log) != 1 || log[0].Kind != "corrupt" {
+		t.Fatalf("fault log = %+v", log)
+	}
+}
+
+// TestReliableCountsCorrupts checks that checksum failures ride the ordinary
+// retry loop and land in the per-node corruption counter: with CorruptRate 1
+// every attempt fails, so the call gives up after MaxAttempts corrupt
+// attempts and MaxAttempts-1 retries.
+func TestReliableCountsCorrupts(t *testing.T) {
+	inner := NewInProc(2)
+	inner.Register(1, echoHandler)
+	chaos := NewChaos(inner, ChaosConfig{Seed: 1, CorruptRate: 1})
+	rel := NewReliable(chaos, 2, ReliableConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	_, err := rel.Call(0, 1, "hi", []byte("x"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt after give-up, got %v", err)
+	}
+	st := rel.NodeStats(0)
+	if st.Corrupts != 3 {
+		t.Fatalf("Corrupts = %d, want 3 (one per attempt)", st.Corrupts)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+
+	// Transient corruption: one bad draw then clean — the retry must succeed
+	// and the counter still record the bad attempt.
+	seed := int64(0)
+	for s := int64(1); s < 10000; s++ {
+		probe := NewChaos(NewInProc(2), ChaosConfig{Seed: s, CorruptRate: 0.5})
+		probe.Register(1, echoHandler)
+		_, err1 := probe.Call(0, 1, "hi", nil)
+		_, err2 := probe.Call(0, 1, "hi", nil)
+		if errors.Is(err1, ErrCorrupt) && err2 == nil {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed with a corrupt-then-clean draw pair found")
+	}
+	inner2 := NewInProc(2)
+	inner2.Register(1, echoHandler)
+	rel2 := NewReliable(NewChaos(inner2, ChaosConfig{Seed: seed, CorruptRate: 0.5}), 2,
+		ReliableConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	resp, err := rel2.Call(0, 1, "hi", []byte("z"))
+	if err != nil || string(resp) != "hi/z" {
+		t.Fatalf("retry after transient corruption failed: %q %v", resp, err)
+	}
+	if st := rel2.NodeStats(0); st.Corrupts != 1 || st.GiveUps != 0 {
+		t.Fatalf("stats after transient corruption = %+v", st)
+	}
+}

@@ -1,10 +1,18 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrCorrupt marks a payload that failed its integrity check: a TCP frame
+// whose CRC32-C did not match (tcp.go) or a chaos-injected bit flip
+// (chaos.go). Corruption is transient — the damaged frame is discarded, the
+// connection torn down and the call retried — so the Reliable wrapper treats
+// it like any other retryable failure while counting it separately.
+var ErrCorrupt = errors.New("transport: payload corrupted (checksum mismatch)")
 
 // Handler serves one RPC method dispatch on a node. Handlers must be safe
 // for concurrent calls: every peer may request simultaneously.
@@ -28,6 +36,7 @@ type Stats struct {
 	Retries  int64 // attempts beyond each call's first
 	Timeouts int64 // attempts abandoned at the per-call deadline
 	GiveUps  int64 // calls that exhausted their attempts or the retry budget
+	Corrupts int64 // attempts that failed a payload integrity check (ErrCorrupt)
 }
 
 // Total returns BytesOut + BytesIn.
@@ -127,9 +136,10 @@ func (nw *InProc) NumNodes() int {
 	return len(nw.handlers)
 }
 
-// frameOverhead approximates per-message framing: length prefix, method
-// length and a request id — what our TCP framing (tcp.go) actually costs.
-const frameOverhead = 9
+// frameOverhead approximates per-message framing: length prefix, CRC32-C
+// checksum, method length and a request id — what our TCP framing (tcp.go)
+// actually costs.
+const frameOverhead = 13
 
 // NodeStats implements Network.
 func (nw *InProc) NodeStats(node int) Stats {

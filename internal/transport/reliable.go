@@ -82,7 +82,7 @@ type Reliable struct {
 }
 
 type relCounters struct {
-	retries, timeouts, giveups atomic.Int64
+	retries, timeouts, giveups, corrupts atomic.Int64
 }
 
 // NewReliable wraps inner, which serves the given number of nodes.
@@ -111,6 +111,7 @@ func (r *Reliable) NodeStats(node int) Stats {
 		s.Retries = c.retries.Load()
 		s.Timeouts = c.timeouts.Load()
 		s.GiveUps = c.giveups.Load()
+		s.Corrupts = c.corrupts.Load()
 	}
 	return s
 }
@@ -123,6 +124,7 @@ func (r *Reliable) ResetStats() {
 		r.counters[i].retries.Store(0)
 		r.counters[i].timeouts.Store(0)
 		r.counters[i].giveups.Store(0)
+		r.counters[i].corrupts.Store(0)
 	}
 	r.budget.Store(r.cfg.RetryBudget)
 }
@@ -191,6 +193,12 @@ func (r *Reliable) CallDeadline(src, dst int, method string, req []byte, timeout
 		lastErr = err
 		if errors.Is(err, ErrTimeout) && c != nil {
 			c.timeouts.Add(1)
+		}
+		// A checksum mismatch is transient by construction — the damaged frame
+		// is gone and the connection redialled — so it rides the ordinary
+		// retry loop, counted separately for the corruption metric.
+		if errors.Is(err, ErrCorrupt) && c != nil {
+			c.corrupts.Add(1)
 		}
 		if attempt+1 >= r.cfg.MaxAttempts {
 			break

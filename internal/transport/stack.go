@@ -140,11 +140,13 @@ func (s *Stack) registerScrape(reg *obs.Registry) {
 		"Retry-layer timeouts in the current epoch window.", "node")
 	nodeGiveUps := reg.GaugeVec("ecgraph_transport_node_giveups",
 		"Calls that exhausted retries in the current epoch window.", "node")
+	nodeCorrupts := reg.GaugeVec("ecgraph_transport_node_corrupts",
+		"Call attempts that failed a payload checksum in the current epoch window.", "node")
 	injected := reg.GaugeVec("ecgraph_chaos_injected",
 		"Injected faults since process start by kind (monotonic; zero without WithChaos).",
 		"kind")
 	type nodeHandles struct {
-		out, in, msgs, retries, timeouts, giveups *obs.Gauge
+		out, in, msgs, retries, timeouts, giveups, corrupts *obs.Gauge
 	}
 	handles := make([]nodeHandles, s.nodes)
 	for i := range handles {
@@ -156,12 +158,14 @@ func (s *Stack) registerScrape(reg *obs.Registry) {
 			retries:  nodeRetries.With(n),
 			timeouts: nodeTimeouts.With(n),
 			giveups:  nodeGiveUps.With(n),
+			corrupts: nodeCorrupts.With(n),
 		}
 	}
 	drops := injected.With("drop")
 	errs := injected.With("error")
 	spikes := injected.With("latency_spike")
 	crashed := injected.With("crashed_call")
+	corrupted := injected.With("corrupt")
 	reg.OnScrapeNamed("transport-stack", func() {
 		for i := range handles {
 			st := s.top.NodeStats(i)
@@ -171,6 +175,7 @@ func (s *Stack) registerScrape(reg *obs.Registry) {
 			handles[i].retries.Set(float64(st.Retries))
 			handles[i].timeouts.Set(float64(st.Timeouts))
 			handles[i].giveups.Set(float64(st.GiveUps))
+			handles[i].corrupts.Set(float64(st.Corrupts))
 		}
 		if s.chaos != nil {
 			inj := s.chaos.Injected()
@@ -178,6 +183,7 @@ func (s *Stack) registerScrape(reg *obs.Registry) {
 			errs.Set(float64(inj.Errors))
 			spikes.Set(float64(inj.Spikes))
 			crashed.Set(float64(inj.CrashedCalls))
+			corrupted.Set(float64(inj.Corrupts))
 		}
 	})
 }

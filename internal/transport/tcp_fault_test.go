@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"net"
 	"strings"
@@ -68,17 +69,17 @@ func TestTCPServerRejectsMalformedFrames(t *testing.T) {
 		{
 			// Method length byte claims 200 bytes but the payload has 2.
 			name:  "bad method length",
-			frame: append(lenPrefix(3), 200, 'h', 'i'),
+			frame: append(frameHeader([]byte{200, 'h', 'i'}), 200, 'h', 'i'),
 		},
 		{
 			// Zero-length payload: not even a method-length byte.
 			name:  "empty request frame",
-			frame: lenPrefix(0),
+			frame: frameHeader(nil),
 		},
 		{
 			// Length prefix beyond maxFrame; no payload follows.
 			name:  "oversized frame header",
-			frame: lenPrefix(maxFrame + 1),
+			frame: rawHeader(maxFrame+1, 0),
 		},
 	}
 	for _, tc := range cases {
@@ -105,10 +106,19 @@ func TestTCPServerRejectsMalformedFrames(t *testing.T) {
 	}
 }
 
-func lenPrefix(n int) []byte {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(n))
-	return b[:4:4]
+// frameHeader builds a wire header (length prefix + CRC32-C) for the given
+// payload, for crafting frames by hand.
+func frameHeader(payload []byte) []byte {
+	return rawHeader(len(payload), crc32.Checksum(payload, castagnoli))
+}
+
+// rawHeader builds a wire header with an arbitrary claimed length and
+// checksum, for crafting invalid frames.
+func rawHeader(n int, sum uint32) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(n))
+	binary.LittleEndian.PutUint32(b[4:], sum)
+	return b[:8:8]
 }
 
 // fakeServer accepts connections and replies to each incoming frame with the
@@ -151,8 +161,8 @@ func TestTCPClientRejectsMalformedResponses(t *testing.T) {
 		reply   []byte
 		wantErr string
 	}{
-		{"empty response frame", lenPrefix(0), "empty response"},
-		{"oversized response header", lenPrefix(maxFrame + 1), "exceeds limit"},
+		{"empty response frame", frameHeader(nil), "empty response"},
+		{"oversized response header", rawHeader(maxFrame+1, 0), "exceeds limit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
