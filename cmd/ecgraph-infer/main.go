@@ -1,56 +1,77 @@
-// Command ecgraph-infer runs inference with a trained, saved model: load a
-// model file (written by nn.Model.SaveFile after core.Train +
-// core.FinalModel), load a graph in the text interchange format (or a
-// preset), run one forward pass and report accuracy, macro-F1 and the
-// confusion matrix — the deployment half of the train → save → infer story.
+// Command ecgraph-infer is the inference companion of ecgraph-train:
 //
-//	ecgraph-infer -model model.ecg -dataset cora
-//	ecgraph-infer -model model.ecg -edges e.txt -vertices v.txt
+//	ecgraph-infer eval   -model model.ecg -dataset cora
+//	ecgraph-infer eval   -model ckpt.eck  -edges e.txt -vertices v.txt
+//	ecgraph-infer client -addr http://127.0.0.1:8090 -sample 64 -dataset cora
+//
+// "eval" loads a saved model (nn.Model.SaveFile) or a training checkpoint,
+// runs one full forward pass locally and reports accuracy, macro-F1 and the
+// confusion matrix. "client" sends per-vertex prediction requests to a
+// running ecgraph-serve front door. Legacy invocations without a
+// subcommand ("ecgraph-infer -model m -dataset cora") default to eval.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
+	"ecgraph/internal/cliconf"
+	"ecgraph/internal/core"
 	"ecgraph/internal/datasets"
 	"ecgraph/internal/graph"
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
+	"ecgraph/internal/serve"
 )
 
-func main() {
-	var (
-		modelPath = flag.String("model", "", "path to a saved model (nn.Model.SaveFile)")
-		dataset   = flag.String("dataset", "", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
-		edges     = flag.String("edges", "", "edge-list file (with -vertices, instead of -dataset)")
-		vertices  = flag.String("vertices", "", "vertex file: label + features per line")
-		confusion = flag.Bool("confusion", false, "print the confusion matrix")
-	)
-	flag.Parse()
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ecgraph-infer: %v\n", err)
+	os.Exit(1)
+}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "ecgraph-infer: %v\n", err)
-		os.Exit(1)
+func main() {
+	args := os.Args[1:]
+	sub := "eval" // bare legacy flags keep working: "-model m -dataset cora"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	switch sub {
+	case "eval":
+		runEval(args)
+	case "client":
+		runClient(args)
+	default:
+		fail(fmt.Errorf("unknown subcommand %q (eval, client)", sub))
+	}
+}
+
+// runEval is the one-shot local forward pass over a whole graph.
+func runEval(args []string) {
+	fs := flag.NewFlagSet("ecgraph-infer eval", flag.ExitOnError)
+	common := cliconf.Register(fs, cliconf.Defaults{}, cliconf.Data|cliconf.Files)
+	modelPath := fs.String("model", "", "saved model (nn.Model.SaveFile) or training checkpoint (.eck)")
+	confusion := fs.Bool("confusion", false, "print the confusion matrix")
+	if err := fs.Parse(args); err != nil {
+		fail(err)
 	}
 	if *modelPath == "" {
 		fail(fmt.Errorf("-model is required"))
 	}
-	model, err := nn.LoadFile(*modelPath)
+	// LoadModelFile sniffs the magic, so eval serves both plain model files
+	// and ECK training checkpoints.
+	model, err := core.LoadModelFile(*modelPath)
 	if err != nil {
 		fail(err)
 	}
-
-	var d *datasets.Dataset
-	switch {
-	case *dataset != "":
-		d, err = datasets.Load(*dataset)
-	case *edges != "" && *vertices != "":
-		d, err = datasets.LoadFiles("custom", *edges, *vertices, 0, 0)
-	default:
-		err = fmt.Errorf("need -dataset or both -edges and -vertices")
-	}
+	d, err := common.LoadDataset()
 	if err != nil {
 		fail(err)
 	}
@@ -92,4 +113,114 @@ func main() {
 		fmt.Println()
 		table.Render(os.Stdout)
 	}
+}
+
+// runClient sends prediction requests to a running ecgraph-serve.
+func runClient(args []string) {
+	fs := flag.NewFlagSet("ecgraph-infer client", flag.ExitOnError)
+	common := cliconf.Register(fs, cliconf.Defaults{}, cliconf.Data|cliconf.Files)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8090", "base URL of a running ecgraph-serve front door")
+		ids     = fs.String("ids", "", "comma-separated vertex ids to classify (instead of -sample)")
+		sample  = fs.Int("sample", 16, "classify this many uniformly sampled vertices (needs -dataset/-edges for the id range)")
+		seed    = fs.Int64("seed", 1, "sampling seed")
+		batch   = fs.Int("batch", 64, "vertices per request")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		quiet   = fs.Bool("quiet", false, "suppress per-vertex lines, print only the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+
+	// The dataset is optional for explicit -ids; with it, the client also
+	// scores the served classes against the labels.
+	var d *datasets.Dataset
+	if dd, err := common.LoadDataset(); err == nil {
+		d = dd
+	} else if *ids == "" {
+		fail(fmt.Errorf("need -ids, or a dataset to sample from (%v)", err))
+	}
+
+	var vertices []int
+	if *ids != "" {
+		for _, s := range strings.Split(*ids, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fail(fmt.Errorf("bad vertex id %q", s))
+			}
+			vertices = append(vertices, id)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *sample; i++ {
+			vertices = append(vertices, rng.Intn(d.Graph.N))
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var version uint32
+	ok, failed, agree, labeled := 0, 0, 0, 0
+	t0 := time.Now()
+	for off := 0; off < len(vertices); off += *batch {
+		end := off + *batch
+		if end > len(vertices) {
+			end = len(vertices)
+		}
+		resp, err := postPredict(client, *addr, vertices[off:end])
+		if err != nil {
+			fail(err)
+		}
+		version = resp.Version
+		for _, r := range resp.Results {
+			if !r.OK {
+				failed++
+				if !*quiet {
+					fmt.Printf("vertex %-6d FAILED  %s\n", r.Vertex, r.Err)
+				}
+				continue
+			}
+			ok++
+			if d != nil && r.Vertex < len(d.Labels) {
+				labeled++
+				if int(d.Labels[r.Vertex]) == r.Class {
+					agree++
+				}
+			}
+			if !*quiet {
+				fmt.Printf("vertex %-6d class %d\n", r.Vertex, r.Class)
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("\nserved %d/%d vertices in %v (model version %d)\n", ok, len(vertices), elapsed.Round(time.Millisecond), version)
+	if labeled > 0 {
+		fmt.Printf("label agreement: %d/%d (%.4f)\n", agree, labeled, float64(agree)/float64(labeled))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func postPredict(client *http.Client, base string, ids []int) (*serve.PredictResponse, error) {
+	body, err := json.Marshal(serve.PredictRequest{Vertices: ids})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(strings.TrimSuffix(base, "/")+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("predict: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
 }

@@ -20,11 +20,10 @@ import (
 	"strings"
 	"time"
 
+	"ecgraph/internal/cliconf"
 	"ecgraph/internal/core"
-	"ecgraph/internal/datasets"
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
-	"ecgraph/internal/obs"
 	"ecgraph/internal/supervise"
 	"ecgraph/internal/transport"
 	"ecgraph/internal/worker"
@@ -48,12 +47,13 @@ func parseCrashWindow(s string) (transport.CrashWindow, error) {
 }
 
 func main() {
+	// Shared flags come from cliconf — one definition for the surface this
+	// demo shares with ecgraph-train and ecgraph-serve.
+	common := cliconf.Register(flag.CommandLine,
+		cliconf.Defaults{Dataset: "cora", Workers: 3, Servers: 1, Epochs: 20},
+		cliconf.Data|cliconf.Cluster|cliconf.Supervision|cliconf.PS|cliconf.Obs)
 	var (
-		dataset = flag.String("dataset", "cora", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
-		workers = flag.Int("workers", 3, "number of workers")
-		servers = flag.Int("servers", 1, "number of parameter servers")
-		epochs  = flag.Int("epochs", 20, "training epochs")
-		bits    = flag.Int("bits", 2, "compression bits for both directions")
+		bits = flag.Int("bits", 2, "compression bits for both directions")
 
 		chaosDrop    = flag.Float64("chaos-drop", 0, "probability a remote call is dropped")
 		chaosErr     = flag.Float64("chaos-err", 0, "probability a remote call gets an injected error response")
@@ -64,26 +64,14 @@ func main() {
 		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability a remote call fails its payload checksum (simulated detected frame corruption)")
 		killPS       = flag.String("kill-ps", "", "scripted parameter-server kill, epoch:range — the primary of that range departs permanently at the top of that epoch (requires -ps-failover)")
 
-		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
-		attempts    = flag.Int("max-attempts", 4, "attempts per call, first try included")
-		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
-		overlap     = flag.Bool("overlap", true, "overlap ghost communication with local computation in the epoch loop (false = sequential oracle)")
-
-		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection and automatic worker recovery")
-		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
-		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
-		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
-		autoRollback = flag.Bool("auto-rollback", false, "roll back and replay when recovery fails or a numeric guard trips (implies -supervise)")
-		psReplicas   = flag.Int("ps-replicas", 0, "hot-standby replicas per parameter-server range (0 or 1); each backup gets its own node")
-		psFailover   = flag.Bool("ps-failover", false, "promote a range's backup when its primary dies, re-electing the monitor if needed (requires -supervise and -ps-replicas 1)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-attempt call deadline")
+		attempts = flag.Int("max-attempts", 4, "attempts per call, first try included")
 
 		elasticSlots = flag.Int("elastic-slots", 0, "reserve this many extra worker node ids for live joins announced over TCP (enables elastic membership)")
 		joinAddr     = flag.String("join-addr", "", "announce membership against a running cluster's monitor at this TCP address, print the returned view, and exit")
 		joinNode     = flag.Int("join-node", -1, "worker node id to announce as joining via -join-addr")
 		drainNode    = flag.Int("drain-node", -1, "worker node id to announce as draining via -join-addr")
 
-		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090 or :0; host defaults to 127.0.0.1)")
-		eventsOut     = flag.String("events-out", "", "append one JSONL epoch event per worker per epoch to this file")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after training so scrapers can collect the final state")
 	)
 	flag.Parse()
@@ -118,58 +106,42 @@ func main() {
 		return
 	}
 
-	d, err := datasets.Load(*dataset)
+	if err := common.Validate(); err != nil {
+		fail(err)
+	}
+	d, err := common.LoadDataset()
 	if err != nil {
 		fail(err)
 	}
-	var reg *obs.Registry
-	if *metricsAddr != "" {
-		reg = obs.NewRegistry()
-		srv, err := obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			fail(err)
-		}
-		defer srv.Close()
-		fmt.Printf("metrics and pprof on http://%s\n", srv.Addr())
+	tel, err := common.StartTelemetry(nil)
+	if err != nil {
+		fail(err)
 	}
-	var events *obs.EventLog
-	if *eventsOut != "" {
-		events, err = obs.OpenEventLog(*eventsOut)
-		if err != nil {
-			fail(err)
-		}
-		defer events.Close()
-	}
-	if *psReplicas < 0 || *psReplicas > 1 {
-		fail(fmt.Errorf("-ps-replicas must be 0 or 1"))
-	}
-	if *psFailover && !*supervised && !*autoRollback {
-		fail(fmt.Errorf("-ps-failover requires -supervise (PS death detection lives in the supervisor)"))
-	}
-	if *psFailover && *psReplicas < 1 {
-		fail(fmt.Errorf("-ps-failover requires -ps-replicas 1 (promotion needs a backup)"))
-	}
-	if *killPS != "" && !*psFailover {
+	g := cliconf.NewGraceful("ecgraph-tcpdemo")
+	g.Defer(tel.Close)
+	defer g.Shutdown()
+	if *killPS != "" && !common.PSFailover {
 		fail(fmt.Errorf("-kill-ps requires -ps-failover, or the run just dies with its server"))
 	}
 	// Elastic hosting reserves transport slots for joiners up front; the
 	// membership monitor is the first parameter server, at node maxWorkers.
 	// Node layout: workers (and join slots), then PS primaries, then PS
 	// backups, so replicas never collide with the worker id space.
-	maxWorkers := *workers + *elasticSlots
-	nodes := maxWorkers + *servers*(1+*psReplicas)
+	maxWorkers := common.Workers + *elasticSlots
+	nodes := maxWorkers + common.Servers*(1+common.PSReplicas)
 	tcp, err := transport.NewTCPCluster(nodes)
 	if err != nil {
 		fail(err)
 	}
-	defer tcp.Close()
+	g.Defer(func() { tcp.Close() })
+	g.Arm(130)
 	for i := 0; i < nodes; i++ {
 		fmt.Printf("node %d listening on %s\n", i, tcp.Addr(i))
 	}
 	if *elasticSlots > 0 {
 		fmt.Printf("elastic membership on: %d join slots (worker ids %d..%d); announce with\n",
-			*elasticSlots, *workers, maxWorkers-1)
-		fmt.Printf("  ecgraph-tcpdemo -join-addr %s -join-node %d\n", tcp.Addr(maxWorkers), *workers)
+			*elasticSlots, common.Workers, maxWorkers-1)
+		fmt.Printf("  ecgraph-tcpdemo -join-addr %s -join-node %d\n", tcp.Addr(maxWorkers), common.Workers)
 	}
 
 	// NewStack composes the wrapper layers in their one correct order —
@@ -182,9 +154,9 @@ func main() {
 			MaxAttempts: *attempts,
 			Seed:        *chaosSeed,
 		}),
-		transport.WithConcurrency(*concurrency),
+		transport.WithConcurrency(common.Concurrency),
 		transport.WithNodes(nodes),
-		transport.WithMetrics(reg),
+		transport.WithMetrics(tel.Registry),
 	}
 	// A scripted PS kill rides on the chaos layer's runtime Depart, so it
 	// forces the layer into the stack even with every rate at zero.
@@ -226,10 +198,10 @@ func main() {
 			var err1, err2 error
 			killEpoch, err1 = strconv.Atoi(parts[0])
 			killRange, err2 = strconv.Atoi(parts[1])
-			bad = err1 != nil || err2 != nil || killEpoch < 0 || killRange < 0 || killRange >= *servers
+			bad = err1 != nil || err2 != nil || killEpoch < 0 || killRange < 0 || killRange >= common.Servers
 		}
 		if bad {
-			fail(fmt.Errorf("-kill-ps %q: want epoch:range with range < %d", *killPS, *servers))
+			fail(fmt.Errorf("-kill-ps %q: want epoch:range with range < %d", *killPS, common.Servers))
 		}
 		chaos, victim, done := stack.Chaos(), maxWorkers+killRange, false
 		epochHook = func(t int) {
@@ -245,38 +217,33 @@ func main() {
 		Dataset:    d,
 		Kind:       nn.KindGCN,
 		Hidden:     []int{16},
-		Workers:    *workers,
-		Servers:    *servers,
-		Epochs:     *epochs,
+		Workers:    common.Workers,
+		Servers:    common.Servers,
+		Epochs:     common.Epochs,
 		LR:         0.01,
 		Seed:       1,
 		Net:        stack,
-		Metrics:    reg,
-		Events:     events,
-		PSReplicas: *psReplicas,
-		PSFailover: *psFailover,
+		Metrics:    tel.Registry,
+		Events:     tel.Events,
+		PSReplicas: common.PSReplicas,
+		PSFailover: common.PSFailover,
 		EpochHook:  epochHook,
 		Worker: worker.Options{
 			FPScheme: worker.SchemeEC, BPScheme: worker.SchemeEC,
 			FPBits: *bits, BPBits: *bits, Ttr: 10,
-			Overlap: *overlap,
+			Overlap: common.Overlap,
 		},
+		Supervise: common.SuperviseOptions(),
 	}
 	if *elasticSlots > 0 {
 		cfg.Elastic = &core.ElasticOptions{MaxWorkers: maxWorkers}
 	}
-	if *supervised || *autoRollback {
-		cfg.Supervise = &supervise.Options{
-			HeartbeatInterval: *heartbeat,
-			SuspectAfter:      *suspectAfter,
-			DeadAfter:         *deadAfter,
-			AutoRollback:      *autoRollback,
-		}
-		fmt.Printf("supervision enabled: heartbeat %v, auto-rollback %v\n", *heartbeat, *autoRollback)
+	if cfg.Supervise != nil {
+		fmt.Printf("supervision enabled: heartbeat %v, auto-rollback %v\n", common.Heartbeat, common.AutoRollback)
 	}
-	if *psReplicas > 0 {
+	if common.PSReplicas > 0 {
 		fmt.Printf("ps tier: primaries on nodes %d..%d, hot standbys on nodes %d..%d, failover %v\n",
-			maxWorkers, maxWorkers+*servers-1, maxWorkers+*servers, nodes-1, *psFailover)
+			maxWorkers, maxWorkers+common.Servers-1, maxWorkers+common.Servers, nodes-1, common.PSFailover)
 	}
 
 	res, err := core.Train(cfg)
@@ -294,7 +261,7 @@ func main() {
 		skips += e.StragglerSkips
 	}
 	fmt.Printf("\ntrained %d epochs over TCP: test accuracy %.4f, %s moved across sockets\n",
-		*epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
+		common.Epochs, res.TestAccuracy, metrics.FormatBytes(float64(bytes)))
 	if chaotic {
 		inj := stack.Stats().Injected
 		fmt.Printf("injected: %d drops, %d errors, %d spikes, %d corrupts, %d crashed calls, %d departed calls\n",
@@ -317,7 +284,7 @@ func main() {
 		}
 		fmt.Printf("final view: gen %d, workers %v\n", res.FinalView.Gen, res.FinalView.Members)
 	}
-	if *metricsAddr != "" && *metricsLinger > 0 {
+	if common.MetricsAddr != "" && *metricsLinger > 0 {
 		fmt.Printf("metrics endpoint lingering %v for final scrapes\n", *metricsLinger)
 		time.Sleep(*metricsLinger)
 	}

@@ -3,6 +3,7 @@
 //
 //	ecgraph-train -dataset cora -workers 4 -fp ec -bp ec -fp-bits 2 -bp-bits 2
 //	ecgraph-train -dataset reddit -fp compress -fp-bits 8 -adaptive
+//	ecgraph-train -dataset cora -epochs 30 -save-model /tmp/cora.model
 package main
 
 import (
@@ -11,17 +12,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
+	"ecgraph/internal/cliconf"
 	"ecgraph/internal/core"
-	"ecgraph/internal/datasets"
 	"ecgraph/internal/gatdist"
 	"ecgraph/internal/metrics"
 	"ecgraph/internal/nn"
 	"ecgraph/internal/obs"
 	"ecgraph/internal/partition"
 	"ecgraph/internal/profile"
-	"ecgraph/internal/supervise"
 	"ecgraph/internal/trace"
 	"ecgraph/internal/transport"
 	"ecgraph/internal/worker"
@@ -104,31 +103,30 @@ func parseScheme(s string) (worker.Scheme, error) {
 }
 
 func main() {
+	// Shared flags (dataset, cluster shape, supervision, PS tier,
+	// telemetry) come from cliconf so the CLIs can't drift; the trainer
+	// keeps only its genuinely private flags below.
+	common := cliconf.Register(flag.CommandLine,
+		cliconf.Defaults{Dataset: "cora", Workers: 4, Servers: 2, Epochs: 60},
+		cliconf.Data|cliconf.Cluster|cliconf.Supervision|cliconf.PS|cliconf.Obs)
 	var (
-		dataset     = flag.String("dataset", "cora", "dataset preset: "+strings.Join(datasets.PresetNames(), ", "))
-		model       = flag.String("model", "gcn", "gnn variant: gcn, sage or gat")
-		hidden      = flag.Int("hidden", 16, "hidden layer width")
-		layers      = flag.Int("layers", 2, "number of GNN layers")
-		workers     = flag.Int("workers", 4, "number of workers")
-		servers     = flag.Int("servers", 2, "number of parameter servers")
-		part        = flag.String("partitioner", "hash", "partitioner: hash or metis")
-		fp          = flag.String("fp", "ec", "forward scheme: raw, compress, ec")
-		bp          = flag.String("bp", "ec", "backward scheme: raw, compress, ec")
-		fpBits      = flag.Int("fp-bits", 2, "forward compression bits (1,2,4,8,16)")
-		bpBits      = flag.Int("bp-bits", 2, "backward compression bits")
-		adaptive    = flag.Bool("adaptive", false, "enable the Bit-Tuner")
-		ttr         = flag.Int("ttr", 10, "ReqEC-FP trend group length")
-		delay       = flag.Int("delay", 0, "DistGNN-style delayed aggregation rounds (0 = off; requires -fp raw)")
-		epochs      = flag.Int("epochs", 60, "training epochs")
-		lr          = flag.Float64("lr", 0.01, "learning rate")
-		seed        = flag.Int64("seed", 1, "random seed")
-		concurrency = flag.Int("net-concurrency", 4, "max in-flight ghost-exchange calls per worker (1 = sequential)")
-		overlap     = flag.Bool("overlap", true, "overlap ghost communication with local computation in the epoch loop (false = sequential oracle)")
-		traceOut    = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file (with -metrics-addr or alone; includes live sub-epoch worker spans)")
-		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090 or :0; host defaults to 127.0.0.1)")
-		eventsOut   = flag.String("events-out", "", "append one JSONL epoch event per worker per epoch to this file")
+		model      = flag.String("model", "gcn", "gnn variant: gcn, sage or gat")
+		hidden     = flag.Int("hidden", 16, "hidden layer width")
+		layers     = flag.Int("layers", 2, "number of GNN layers")
+		part       = flag.String("partitioner", "hash", "partitioner: hash or metis")
+		fp         = flag.String("fp", "ec", "forward scheme: raw, compress, ec")
+		bp         = flag.String("bp", "ec", "backward scheme: raw, compress, ec")
+		fpBits     = flag.Int("fp-bits", 2, "forward compression bits (1,2,4,8,16)")
+		bpBits     = flag.Int("bp-bits", 2, "backward compression bits")
+		adaptive   = flag.Bool("adaptive", false, "enable the Bit-Tuner")
+		ttr        = flag.Int("ttr", 10, "ReqEC-FP trend group length")
+		delay      = flag.Int("delay", 0, "DistGNN-style delayed aggregation rounds (0 = off; requires -fp raw)")
+		lr         = flag.Float64("lr", 0.01, "learning rate")
+		seed       = flag.Int64("seed", 1, "random seed")
+		traceOut   = flag.String("trace", "", "write a Chrome-trace timeline of the run to this file (with -metrics-addr or alone; includes live sub-epoch worker spans)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		saveModel  = flag.String("save-model", "", "write the trained model to this file after training (serve it with ecgraph-serve)")
 
 		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file during training")
 		checkpointEvery = flag.Int("checkpoint-every", 10, "epochs between checkpoints")
@@ -138,15 +136,6 @@ func main() {
 		elasticJoin  = flag.String("elastic-join", "", "scripted worker joins, comma-separated epoch or epoch:node (e.g. 10,16 or 10:4,16:5); node defaults to the next unused id")
 		drain        = flag.String("drain", "", "scripted worker drains, comma-separated epoch:node (e.g. 26:1); the worker leaves at that epoch boundary and its vertices move to the survivors")
 		leaveOnDeath = flag.Bool("leave-on-death", false, "turn a detected permanent worker death into a membership leave instead of a respawn (requires -supervise and -elastic)")
-
-		supervised   = flag.Bool("supervise", false, "enable heartbeat failure detection, automatic worker recovery and straggler tolerance")
-		heartbeat    = flag.Duration("heartbeat", 25*time.Millisecond, "heartbeat interval between workers and the monitor (with -supervise)")
-		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a worker is suspect (default 5x -heartbeat)")
-		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a worker is declared dead (default 15x -heartbeat)")
-		autoRollback = flag.Bool("auto-rollback", false, "roll back to the latest checkpoint and replay when recovery fails or a numeric guard trips (implies -supervise)")
-
-		psReplicas = flag.Int("ps-replicas", 0, "hot-standby replicas per parameter-server range (0 or 1); each backup gets its own node")
-		psFailover = flag.Bool("ps-failover", false, "promote a range's backup when its primary dies, re-electing the monitor if needed (requires -supervise and -ps-replicas 1)")
 	)
 	flag.Parse()
 
@@ -161,7 +150,10 @@ func main() {
 	}
 	defer stopProfiles()
 
-	d, err := datasets.Load(*dataset)
+	if err := common.Validate(); err != nil {
+		fail(err)
+	}
+	d, err := common.LoadDataset()
 	if err != nil {
 		fail(err)
 	}
@@ -194,7 +186,7 @@ func main() {
 	wantElastic := *elastic || *elasticJoin != "" || *drain != ""
 	var elasticOpts *core.ElasticOptions
 	if wantElastic {
-		plan, maxW, err := parseElasticPlan(*elasticJoin, *drain, *workers)
+		plan, maxW, err := parseElasticPlan(*elasticJoin, *drain, common.Workers)
 		if err != nil {
 			fail(err)
 		}
@@ -205,22 +197,13 @@ func main() {
 	if *leaveOnDeath && !wantElastic {
 		fail(fmt.Errorf("-leave-on-death requires -elastic"))
 	}
-	if *leaveOnDeath && !*supervised && !*autoRollback {
+	if *leaveOnDeath && !common.Supervise && !common.AutoRollback {
 		fail(fmt.Errorf("-leave-on-death requires -supervise (death detection lives in the supervisor)"))
 	}
 	if wantElastic && *model == "gat" {
 		fail(fmt.Errorf("-elastic is not supported for the GAT trainer"))
 	}
-	if *psReplicas < 0 || *psReplicas > 1 {
-		fail(fmt.Errorf("-ps-replicas must be 0 or 1"))
-	}
-	if *psFailover && !*supervised && !*autoRollback {
-		fail(fmt.Errorf("-ps-failover requires -supervise (PS death detection lives in the supervisor)"))
-	}
-	if *psFailover && *psReplicas < 1 {
-		fail(fmt.Errorf("-ps-failover requires -ps-replicas 1 (promotion needs a backup)"))
-	}
-	if *psReplicas > 0 && *model == "gat" {
+	if common.PSReplicas > 0 && *model == "gat" {
 		fail(fmt.Errorf("-ps-replicas is not supported for the GAT trainer"))
 	}
 	if wantElastic && (*checkpoint != "" || *resume != "") {
@@ -230,11 +213,14 @@ func main() {
 	if *model == "gat" && (*checkpoint != "" || *resume != "") {
 		fail(fmt.Errorf("-checkpoint/-resume are not supported for the GAT trainer"))
 	}
+	if *model == "gat" && *saveModel != "" {
+		fail(fmt.Errorf("-save-model is not supported for the GAT trainer"))
+	}
 	if *model == "gat" {
 		res, err := gatdist.Train(gatdist.Config{
 			Dataset: d, Hidden: hiddenDims,
-			Workers: *workers, Servers: *servers, Partitioner: p,
-			Epochs: *epochs, LR: *lr, Seed: *seed,
+			Workers: common.Workers, Servers: common.Servers, Partitioner: p,
+			Epochs: common.Epochs, LR: *lr, Seed: *seed,
 			FPScheme: fpScheme, FPBits: *fpBits, Ttr: *ttr,
 			DPScheme: bpScheme, DPBits: *bpBits,
 		})
@@ -249,25 +235,18 @@ func main() {
 
 	// Telemetry: one registry feeds the transport metering, the engine's
 	// gauges and the /metrics endpoint; nil (no -metrics-addr) disables all
-	// of it without touching the training path.
-	var reg *obs.Registry
-	if *metricsAddr != "" {
-		reg = obs.NewRegistry()
-		srv, err := obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			fail(err)
-		}
-		defer srv.Close()
-		fmt.Printf("metrics and pprof on http://%s\n", srv.Addr())
+	// of it without touching the training path. SIGINT/SIGTERM closes the
+	// endpoint and flushes the event log before exiting.
+	tel, err := common.StartTelemetry(nil)
+	if err != nil {
+		fail(err)
 	}
-	var events *obs.EventLog
-	if *eventsOut != "" {
-		events, err = obs.OpenEventLog(*eventsOut)
-		if err != nil {
-			fail(err)
-		}
-		defer events.Close()
-	}
+	g := cliconf.NewGraceful("ecgraph-train")
+	g.Defer(stopProfiles)
+	g.Defer(tel.Close)
+	g.Arm(130)
+	defer g.Shutdown()
+
 	// A requested trace records live sub-epoch worker spans during the run
 	// (pid 1+worker), then gets the simulated cluster timeline merged onto
 	// pid 0 after training. The tracer is only built alongside the recorder:
@@ -286,14 +265,14 @@ func main() {
 	// up front; idle slots cost nothing until a worker lands on them.
 	// Backups live on their own nodes above the primaries, so the transport
 	// must reserve servers*(1+replicas) server slots.
-	nodes := *workers + *servers*(1+*psReplicas)
+	nodes := common.Workers + common.Servers*(1+common.PSReplicas)
 	if elasticOpts != nil {
-		nodes = elasticOpts.MaxWorkers + *servers*(1+*psReplicas)
+		nodes = elasticOpts.MaxWorkers + common.Servers*(1+common.PSReplicas)
 	}
 	stack := transport.NewStack(
 		transport.NewInProc(nodes),
-		transport.WithConcurrency(*concurrency),
-		transport.WithMetrics(reg),
+		transport.WithConcurrency(common.Concurrency),
+		transport.WithMetrics(tel.Registry),
 	)
 	defer stack.Close()
 
@@ -301,10 +280,10 @@ func main() {
 		Dataset:     d,
 		Kind:        kind,
 		Hidden:      hiddenDims,
-		Workers:     *workers,
-		Servers:     *servers,
+		Workers:     common.Workers,
+		Servers:     common.Servers,
 		Partitioner: p,
-		Epochs:      *epochs,
+		Epochs:      common.Epochs,
 		LR:          *lr,
 		Seed:        *seed,
 		Net:         stack,
@@ -312,28 +291,21 @@ func main() {
 			FPScheme: fpScheme, BPScheme: bpScheme,
 			FPBits: *fpBits, BPBits: *bpBits,
 			AdaptiveBits: *adaptive, Ttr: *ttr, DelayRounds: *delay,
-			Overlap: *overlap,
+			Overlap: common.Overlap,
 		},
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		ResumeFrom:      *resume,
-		Metrics:         reg,
-		Events:          events,
+		Metrics:         tel.Registry,
+		Events:          tel.Events,
 		Tracer:          tracer,
 		Elastic:         elasticOpts,
-		PSReplicas:      *psReplicas,
-		PSFailover:      *psFailover,
-	}
-	if *supervised || *autoRollback {
-		cfg.Supervise = &supervise.Options{
-			HeartbeatInterval: *heartbeat,
-			SuspectAfter:      *suspectAfter,
-			DeadAfter:         *deadAfter,
-			AutoRollback:      *autoRollback,
-		}
+		PSReplicas:      common.PSReplicas,
+		PSFailover:      common.PSFailover,
+		Supervise:       common.SuperviseOptions(),
 	}
 	fmt.Printf("training %s on %s: %d layers, %d workers, fp=%s(%d bits) bp=%s(%d bits)\n",
-		*model, d.Name, *layers, *workers, *fp, *fpBits, *bp, *bpBits)
+		*model, d.Name, *layers, common.Workers, *fp, *fpBits, *bp, *bpBits)
 	if *resume != "" {
 		fmt.Printf("resuming from %s\n", *resume)
 	}
@@ -385,6 +357,16 @@ func main() {
 		metrics.FormatSeconds(res.ConvergenceSimSeconds), metrics.FormatSeconds(res.TotalSimSeconds))
 	fmt.Printf("partition %s: edge cut %d (%.1f%% of edges), remote degree %.2f\n",
 		p.Name(), res.PartitionStats.EdgeCut, res.PartitionStats.CutFraction*100, res.PartitionStats.RemoteDegree)
+	if *saveModel != "" {
+		m, err := core.FinalModel(cfg, res)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.SaveFile(*saveModel); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model written to %s\n", *saveModel)
+	}
 	if rec != nil {
 		trace.FromResultInto(rec, res)
 		if err := rec.WriteFile(*traceOut); err != nil {

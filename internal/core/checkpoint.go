@@ -223,3 +223,29 @@ func LoadCheckpointFile(path string) (*Checkpoint, error) {
 	defer f.Close()
 	return LoadCheckpoint(f)
 }
+
+// LoadModelFile loads trained parameters from either artifact the stack
+// produces: a bare nn model file ("ECG" magic, ecgraph-train -save-model)
+// or a training checkpoint ("ECK", -checkpoint), sniffed by magic. A v2
+// checkpoint's CRC32-C trailer is verified before the model is extracted,
+// so a serving process can never hot-swap to a torn or bit-flipped file.
+func LoadModelFile(path string) (*nn.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [3]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, rerr)
+	}
+	if magic == [3]byte{'E', 'C', 'K'} {
+		ck, err := LoadCheckpointFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return ck.Model, nil
+	}
+	return nn.LoadFile(path)
+}

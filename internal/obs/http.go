@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -19,6 +20,14 @@ type Server struct {
 // reaching them from off-box requires an explicit host ("0.0.0.0:9090").
 // Port 0 picks a free port; Addr reports the bound address.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeWith(addr, reg, nil)
+}
+
+// ServeWith is Serve with an extra-handler hook: mount, when non-nil, adds
+// application routes to the same mux before the listener starts, so one
+// port carries /metrics, pprof and the application's own endpoints (the
+// serving front door uses this).
+func ServeWith(addr string, reg *Registry, mount func(*http.ServeMux)) (*Server, error) {
 	lis, err := net.Listen("tcp", normalizeAddr(addr))
 	if err != nil {
 		return nil, err
@@ -33,9 +42,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if mount != nil {
+		mount(mux)
+	}
 	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(lis) }()
 	return s, nil
+}
+
+// Shutdown stops accepting connections and waits for in-flight handlers
+// to finish, up to the context's deadline — the graceful counterpart of
+// Close for signal-driven teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }
 
 // Addr returns the bound address (useful with port 0).

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"ecgraph/internal/transport"
+)
+
+// dispatch is the batcher loop: it pulls the oldest waiting request, keeps
+// coalescing arrivals until the batch reaches MaxBatch vertices or
+// BatchWait elapses, and hands the batch to a bounded pool of in-flight
+// rounds. Coalescing is what turns per-vertex HTTP arrivals into SpMM-sized
+// work: one shard call aggregates the whole batch through the split
+// kernels instead of one sparse row at a time.
+func (s *Service) dispatch() {
+	defer s.dispatchWG.Done()
+	for r := range s.queue {
+		batch := []*request{r}
+		nv := len(r.ids)
+		timer := time.NewTimer(s.cfg.BatchWait)
+	coalesce:
+		for nv < s.cfg.MaxBatch {
+			select {
+			case r2, ok := <-s.queue:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, r2)
+				nv += len(r2.ids)
+			case <-timer.C:
+				break coalesce
+			}
+		}
+		timer.Stop()
+		s.m.queueDepth.Add(float64(-len(batch)))
+		s.m.batchSize.Observe(float64(nv))
+
+		s.roundSem <- struct{}{}
+		s.roundWG.Add(1)
+		go func(batch []*request) {
+			defer func() {
+				<-s.roundSem
+				s.roundWG.Done()
+			}()
+			s.runBatch(batch)
+		}(batch)
+	}
+}
+
+// vertexSlot addresses one vertex of one request within a batch round.
+type vertexSlot struct {
+	req int // index into the batch
+	pos int // index into that request's ids
+}
+
+// runBatch serves one coalesced batch: retain the active version, group
+// the vertices by owning shard, fan the per-shard batch calls out over the
+// transport, and scatter the answers back to the waiting requests.
+func (s *Service) runBatch(batch []*request) {
+	v, ref := s.retainActive()
+	defer ref.Add(-1)
+
+	for _, r := range batch {
+		r.results = make([]Result, len(r.ids))
+		for i, id := range r.ids {
+			r.results[i] = Result{Vertex: id, Class: -1, Version: v}
+		}
+	}
+
+	perShard := make(map[int][]int32)
+	slots := make(map[int][]vertexSlot)
+	for ri, r := range batch {
+		for pi, id := range r.ids {
+			sh := int(s.owner[id])
+			perShard[sh] = append(perShard[sh], int32(id))
+			slots[sh] = append(slots[sh], vertexSlot{req: ri, pos: pi})
+		}
+	}
+
+	calls := make([]transport.Call, 0, len(perShard))
+	order := make([]int, 0, len(perShard))
+	for sh, ids := range perShard {
+		w := transport.GetWriter(8 + 4*len(ids))
+		w.Uint32(v)
+		w.Int32s(ids)
+		calls = append(calls, transport.Call{Dst: sh, Method: methodBatch, Req: append([]byte(nil), w.Bytes()...)})
+		order = append(order, sh)
+		w.Release()
+	}
+
+	results := s.net.CallMulti(s.front, calls)
+	for ci, res := range results {
+		sh := order[ci]
+		if res.Err != nil {
+			// The whole shard call failed: every vertex it owned in
+			// this batch carries the error, the rest of the batch is
+			// unaffected.
+			for _, slot := range slots[sh] {
+				out := &batch[slot.req].results[slot.pos]
+				out.Err = fmt.Sprintf("shard %d: %v", sh, res.Err)
+				s.m.vertexFailed.Inc()
+			}
+			continue
+		}
+		r := transport.NewReader(res.Resp)
+		flags := r.Uint8s()
+		logits := r.Matrix()
+		for k, slot := range slots[sh] {
+			out := &batch[slot.req].results[slot.pos]
+			if k >= len(flags) || flags[k] == 0 {
+				out.Err = "ghost row unavailable past staleness bound"
+				s.m.vertexFailed.Inc()
+				continue
+			}
+			row := logits.Row(k)
+			out.Logits = append([]float32(nil), row...)
+			out.OK = true
+			out.Class = argMax(row)
+		}
+	}
+
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+func argMax(row []float32) int {
+	best := 0
+	for j, x := range row {
+		if x > row[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// ghostCache is a shard's cache of remote S^L rows, keyed by (version,
+// vertex). It is segmented — the key hashes to one of nCacheSegs
+// independently locked maps — so concurrent batch rounds and the swap
+// path's version drop never contend on one lock.
+//
+// Freshness follows the degraded-fetch semantics of the training exchange
+// (internal/worker/exchange.go): a row younger than the TTL serves
+// directly; an expired row is refetched, but if the owning peer fails the
+// last-good copy still serves as long as it is within the staleness bound.
+// Per-version embeddings are immutable, so TTL 0 ("never expires") is the
+// exact configuration; a positive TTL exists to bound memory and to keep
+// the degraded path honest under chaos.
+const nCacheSegs = 16
+
+type cacheKey struct {
+	version uint32
+	id      int32
+}
+
+type cacheEntry struct {
+	row     []float32
+	fetched time.Time
+}
+
+type cacheSeg struct {
+	mu sync.Mutex
+	m  map[cacheKey]*cacheEntry
+}
+
+type ghostCache struct {
+	segs     [nCacheSegs]cacheSeg
+	ttl      time.Duration // 0: rows never expire
+	maxStale time.Duration // <0: unlimited last-good fallback; 0: none
+	now      func() time.Time
+}
+
+func newGhostCache(ttl, maxStale time.Duration, now func() time.Time) *ghostCache {
+	c := &ghostCache{ttl: ttl, maxStale: maxStale, now: now}
+	for i := range c.segs {
+		c.segs[i].m = map[cacheKey]*cacheEntry{}
+	}
+	return c
+}
+
+func (c *ghostCache) seg(k cacheKey) *cacheSeg {
+	return &c.segs[(uint32(k.id)^k.version*31)%nCacheSegs]
+}
+
+// lookup returns the row if it is fresh, else nil plus the last-good copy
+// (if any) with its age, letting the caller apply the staleness bound
+// after a failed refetch.
+func (c *ghostCache) lookup(version uint32, id int32) (fresh []float32, lastGood []float32, age time.Duration) {
+	k := cacheKey{version, id}
+	s := c.seg(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[k]
+	if e == nil {
+		return nil, nil, 0
+	}
+	age = c.now().Sub(e.fetched)
+	if c.ttl == 0 || age <= c.ttl {
+		return e.row, e.row, age
+	}
+	return nil, e.row, age
+}
+
+// usableStale reports whether a last-good row of the given age may serve
+// after a failed refetch.
+func (c *ghostCache) usableStale(lastGood []float32, age time.Duration) bool {
+	if lastGood == nil || c.maxStale == 0 {
+		return false
+	}
+	return c.maxStale < 0 || age <= c.maxStale
+}
+
+func (c *ghostCache) put(version uint32, id int32, row []float32) {
+	k := cacheKey{version, id}
+	s := c.seg(k)
+	s.mu.Lock()
+	s.m[k] = &cacheEntry{row: row, fetched: c.now()}
+	s.mu.Unlock()
+}
+
+// dropVersion frees every entry belonging to a dropped model version.
+func (c *ghostCache) dropVersion(version uint32) {
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.Lock()
+		for k := range s.m {
+			if k.version == version {
+				delete(s.m, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (c *ghostCache) size() int {
+	n := 0
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

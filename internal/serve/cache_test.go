@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for cache-age tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCacheFreshUntilTTL(t *testing.T) {
+	clk := newFakeClock()
+	c := newGhostCache(time.Second, 10*time.Second, clk.Now)
+	c.put(1, 42, []float32{1, 2, 3})
+
+	fresh, _, _ := c.lookup(1, 42)
+	if fresh == nil {
+		t.Fatal("row should be fresh right after put")
+	}
+	clk.Advance(999 * time.Millisecond)
+	if fresh, _, _ := c.lookup(1, 42); fresh == nil {
+		t.Fatal("row should be fresh within the TTL")
+	}
+	clk.Advance(2 * time.Millisecond)
+	fresh, lastGood, age := c.lookup(1, 42)
+	if fresh != nil {
+		t.Fatal("row should have expired past the TTL")
+	}
+	if lastGood == nil || age < time.Second {
+		t.Fatalf("expired row should surface as last-good (got row=%v age=%v)", lastGood, age)
+	}
+	if !c.usableStale(lastGood, age) {
+		t.Fatal("last-good within the staleness bound should be usable")
+	}
+	clk.Advance(20 * time.Second)
+	_, lastGood, age = c.lookup(1, 42)
+	if c.usableStale(lastGood, age) {
+		t.Fatalf("last-good at age %v should be beyond the 10s staleness bound", age)
+	}
+}
+
+func TestCacheZeroTTLPins(t *testing.T) {
+	clk := newFakeClock()
+	c := newGhostCache(0, 0, clk.Now)
+	c.put(3, 7, []float32{1})
+	clk.Advance(1000 * time.Hour)
+	if fresh, _, _ := c.lookup(3, 7); fresh == nil {
+		t.Fatal("TTL 0 must pin rows for the version's lifetime")
+	}
+}
+
+func TestCacheStaleBoundModes(t *testing.T) {
+	clk := newFakeClock()
+	unlimited := newGhostCache(time.Second, -1, clk.Now)
+	none := newGhostCache(time.Second, 0, clk.Now)
+	row := []float32{1}
+	if !unlimited.usableStale(row, 500*time.Hour) {
+		t.Fatal("maxStale < 0 should allow any last-good row")
+	}
+	if none.usableStale(row, time.Millisecond) {
+		t.Fatal("maxStale 0 should disable the fallback entirely")
+	}
+	if unlimited.usableStale(nil, 0) {
+		t.Fatal("no last-good row can never be usable")
+	}
+}
+
+func TestCacheDropVersion(t *testing.T) {
+	clk := newFakeClock()
+	c := newGhostCache(0, 0, clk.Now)
+	for id := int32(0); id < 100; id++ {
+		c.put(1, id, []float32{float32(id)})
+		c.put(2, id, []float32{float32(id)})
+	}
+	if got := c.size(); got != 200 {
+		t.Fatalf("size = %d, want 200", got)
+	}
+	c.dropVersion(1)
+	if got := c.size(); got != 100 {
+		t.Fatalf("after dropVersion(1): size = %d, want 100", got)
+	}
+	if fresh, lastGood, _ := c.lookup(1, 5); fresh != nil || lastGood != nil {
+		t.Fatal("dropped version's rows must be gone")
+	}
+	if fresh, _, _ := c.lookup(2, 5); fresh == nil {
+		t.Fatal("other versions must survive a drop")
+	}
+}

@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecgraph/internal/datasets"
+	"ecgraph/internal/graph"
+	"ecgraph/internal/nn"
+	"ecgraph/internal/obs"
+	"ecgraph/internal/tensor"
+	"ecgraph/internal/transport"
+)
+
+// evalLogits is the single-machine oracle: the same full-graph forward
+// pass ecgraph-infer eval runs.
+func evalLogits(d *datasets.Dataset, m *nn.Model) *tensor.Matrix {
+	acts := m.Forward(graph.Normalize(d.Graph), d.Features)
+	return acts.H[len(acts.H)-1]
+}
+
+func testModel(d *datasets.Dataset, kind nn.Kind, seed int64) *nn.Model {
+	return nn.NewModel(kind, []int{d.NumFeatures(), 16, d.NumClasses}, seed)
+}
+
+func newTestService(t *testing.T, d *datasets.Dataset, cfg Config) *Service {
+	t.Helper()
+	cfg.Graph = d.Graph
+	cfg.Features = d.Features
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// predictAll serves every vertex in chunks and returns the logits matrix.
+func predictAll(t *testing.T, svc *Service, n, chunk int) *tensor.Matrix {
+	t.Helper()
+	var out *tensor.Matrix
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ids := make([]int, hi-lo)
+		for i := range ids {
+			ids[i] = lo + i
+		}
+		results, err := svc.Predict(ids)
+		if err != nil {
+			t.Fatalf("Predict(%d..%d): %v", lo, hi, err)
+		}
+		for _, r := range results {
+			if !r.OK {
+				t.Fatalf("vertex %d failed: %s", r.Vertex, r.Err)
+			}
+			if out == nil {
+				out = tensor.New(n, len(r.Logits))
+			}
+			out.SetRow(r.Vertex, r.Logits)
+		}
+	}
+	return out
+}
+
+func requireBitwise(t *testing.T, got, want *tensor.Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if math.Float32bits(v) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %x vs %x (%v vs %v)",
+				label, i, math.Float32bits(v), math.Float32bits(want.Data[i]), v, want.Data[i])
+		}
+	}
+}
+
+// TestServedLogitsBitwiseEqualEval is the e2e exactness proof: on a single
+// shard with a quiesced cache, served logits must equal the one-shot eval
+// forward pass bit for bit — for both model kinds (SAGE exercises the
+// self-term path). A single shard owns every vertex in global order, so
+// the batch kernels accumulate in exactly the oracle's CSR order; the
+// multi-shard caveat is documented in DESIGN.md §14.
+func TestServedLogitsBitwiseEqualEval(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	for _, kind := range []nn.Kind{nn.KindGCN, nn.KindSAGE} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := testModel(d, kind, 7)
+			want := evalLogits(d, m)
+			svc := newTestService(t, d, Config{Shards: 1})
+			if err := svc.SwapModel(m); err != nil {
+				t.Fatal(err)
+			}
+			got := predictAll(t, svc, d.Graph.N, 128)
+			requireBitwise(t, got, want, "served logits")
+		})
+	}
+}
+
+// TestMultiShardServingMatches checks the sharded path: per-shard
+// owned-first reordering reassociates float accumulation, so the contract
+// is identical predictions and tiny logit drift vs the oracle — plus
+// bitwise determinism across two identically configured services.
+func TestMultiShardServingMatches(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	m := testModel(d, nn.KindGCN, 11)
+	want := evalLogits(d, m)
+	wantClasses := want.ArgMaxRows()
+
+	svcA := newTestService(t, d, Config{Shards: 4})
+	if err := svcA.SwapModel(m); err != nil {
+		t.Fatal(err)
+	}
+	got := predictAll(t, svcA, d.Graph.N, 200)
+
+	maxDiff := 0.0
+	for i, v := range got.Data {
+		if diff := math.Abs(float64(v - want.Data[i])); diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	if maxDiff > 1e-4 {
+		t.Fatalf("sharded logits drift %g from the oracle, want < 1e-4", maxDiff)
+	}
+	for i, c := range got.ArgMaxRows() {
+		if c != wantClasses[i] {
+			t.Fatalf("vertex %d: sharded class %d, oracle class %d", i, c, wantClasses[i])
+		}
+	}
+
+	svcB := newTestService(t, d, Config{Shards: 4})
+	if err := svcB.SwapModel(m); err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, predictAll(t, svcB, d.Graph.N, 200), got, "cross-run determinism")
+}
+
+// TestHotSwapUnderConcurrentLoad hammers Predict from many goroutines
+// while the model is swapped repeatedly. Every response must be bitwise
+// equal to the full-graph forward pass of the version it reports — no
+// failed requests, no torn versions (this test carries the -race proof for
+// the flip/drain protocol).
+func TestHotSwapUnderConcurrentLoad(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	mA := testModel(d, nn.KindGCN, 1)
+	mB := testModel(d, nn.KindGCN, 2)
+	const swaps = 6
+	// Version numbers are assigned sequentially from 1; swap i installs
+	// A for even i. Precompute each version's oracle.
+	expected := map[uint32]*tensor.Matrix{}
+	for i := 0; i < swaps; i++ {
+		m := mA
+		if i%2 == 1 {
+			m = mB
+		}
+		expected[uint32(i+1)] = evalLogits(d, m)
+	}
+
+	svc := newTestService(t, d, Config{Shards: 1, QueueDepth: 4096})
+	if err := svc.SwapModel(mA); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errC := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				ids := []int{rng.Intn(d.Graph.N), rng.Intn(d.Graph.N), rng.Intn(d.Graph.N)}
+				results, err := svc.Predict(ids)
+				if err != nil {
+					select {
+					case errC <- err:
+					default:
+					}
+					return
+				}
+				for _, r := range results {
+					want, ok := expected[r.Version]
+					if !ok {
+						select {
+						case errC <- fmt.Errorf("vertex %d answered by unknown version %d", r.Vertex, r.Version):
+						default:
+						}
+						return
+					}
+					if !r.OK {
+						select {
+						case errC <- fmt.Errorf("vertex %d failed during swap: %s", r.Vertex, r.Err):
+						default:
+						}
+						return
+					}
+					for j, v := range r.Logits {
+						if math.Float32bits(v) != math.Float32bits(want.At(r.Vertex, j)) {
+							select {
+							case errC <- fmt.Errorf("vertex %d version %d logit %d torn", r.Vertex, r.Version, j):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+		}(int64(g))
+	}
+
+	for i := 1; i < swaps; i++ {
+		m := mA
+		if i%2 == 1 {
+			m = mB
+		}
+		if err := svc.SwapModel(m); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	if got := svc.ActiveVersion(); got != swaps {
+		t.Fatalf("active version %d after %d swaps", got, swaps)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errC:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestAdmissionControlRejectsUnderOverload fills the bounded queue while
+// the shard is deliberately slow (injected sv.batch latency, single
+// uncoalesced in-flight round) and checks that surplus arrivals bounce
+// with ErrOverloaded while every admitted request still completes.
+func TestAdmissionControlRejectsUnderOverload(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	m := testModel(d, nn.KindGCN, 3)
+	slow := &failNet{
+		Network:    transport.NewStack(transport.NewInProc(2), transport.WithConcurrency(2)),
+		delayBatch: 40 * time.Millisecond,
+	}
+	svc := newTestService(t, d, Config{
+		Shards:          1,
+		Net:             slow,
+		QueueDepth:      1,
+		MaxBatch:        1,
+		InflightBatches: 1,
+	})
+	if err := svc.SwapModel(m); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 50
+	var ok, rejected, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			_, err := svc.Predict([]int{v})
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				rejected.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("%d requests failed with unexpected errors", other.Load())
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("overload never rejected a request")
+	}
+	if ok.Load() == 0 {
+		t.Fatal("admitted requests should still complete")
+	}
+	if ok.Load()+rejected.Load() != n {
+		t.Fatalf("ok %d + rejected %d != %d", ok.Load(), rejected.Load(), n)
+	}
+}
+
+// failNet wraps a Network and injects serving-path faults: failRows fails
+// sv.rows calls (a peer that answers control traffic but cannot deliver
+// embedding rows), delayBatch slows sv.batch (an overloaded shard).
+type failNet struct {
+	transport.Network
+	failRows   atomic.Bool
+	delayBatch time.Duration
+}
+
+func (f *failNet) Call(src, dst int, method string, req []byte) ([]byte, error) {
+	if method == methodRows && f.failRows.Load() {
+		return nil, errors.New("injected: peer unavailable")
+	}
+	if method == methodBatch && f.delayBatch > 0 {
+		time.Sleep(f.delayBatch)
+	}
+	return f.Network.Call(src, dst, method, req)
+}
+
+func (f *failNet) CallMulti(src int, calls []transport.Call) []transport.Result {
+	out := make([]transport.Result, len(calls))
+	for i, c := range calls {
+		resp, err := f.Call(src, c.Dst, c.Method, c.Req)
+		out[i] = transport.Result{Resp: resp, Err: err}
+	}
+	return out
+}
+
+// TestCacheTTLExpiryAndLastGoodFallback drives the serving cache through
+// its whole staleness ladder with a fake clock and an injectable-failure
+// network: fresh hit → expired-but-refetchable → expired with the peer
+// down (last-good degraded serve, bitwise-identical logits) → past the
+// staleness bound (per-vertex failure) → peer recovers.
+func TestCacheTTLExpiryAndLastGoodFallback(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	m := testModel(d, nn.KindGCN, 5)
+	clk := newFakeClock()
+	fn := &failNet{Network: transport.NewStack(transport.NewInProc(3), transport.WithConcurrency(2))}
+	reg := obs.NewRegistry()
+	svc := newTestService(t, d, Config{
+		Shards:        2,
+		Net:           fn,
+		CacheTTL:      time.Second,
+		CacheMaxStale: 10 * time.Second,
+		Clock:         clk.Now,
+		Metrics:       reg,
+	})
+	if err := svc.SwapModel(m); err != nil {
+		t.Fatal(err)
+	}
+
+	base := predictAll(t, svc, d.Graph.N, 256) // warms every ghost row
+	if svc.CacheStats() == 0 {
+		t.Fatal("serving a 2-shard graph must populate the ghost cache")
+	}
+
+	// Rows are fresh: the peer being down is invisible.
+	fn.failRows.Store(true)
+	requireBitwise(t, predictAll(t, svc, d.Graph.N, 256), base, "fresh-cache serve with peer down")
+
+	// Expired but within the staleness bound: last-good rows serve, and
+	// since per-version embeddings are immutable the answers are still
+	// bitwise exact.
+	clk.Advance(2 * time.Second)
+	requireBitwise(t, predictAll(t, svc, d.Graph.N, 256), base, "last-good degraded serve")
+	if svc.m.cacheStale.Value() == 0 {
+		t.Fatal("degraded serve should count stale_served cache events")
+	}
+
+	// Past the staleness bound: boundary vertices must fail per-vertex,
+	// interior vertices still answer.
+	clk.Advance(20 * time.Second)
+	var failed, served int
+	for lo := 0; lo < d.Graph.N; lo += 256 {
+		hi := lo + 256
+		if hi > d.Graph.N {
+			hi = d.Graph.N
+		}
+		ids := make([]int, hi-lo)
+		for i := range ids {
+			ids[i] = lo + i
+		}
+		results, err := svc.Predict(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.OK {
+				served++
+			} else {
+				failed++
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("rows past the staleness bound must fail their dependent vertices")
+	}
+	if served == 0 {
+		t.Fatal("vertices with no remote neighbours must keep serving")
+	}
+
+	// Peer recovers: refetch repopulates and answers are exact again.
+	fn.failRows.Store(false)
+	requireBitwise(t, predictAll(t, svc, d.Graph.N, 256), base, "recovered serve")
+}
+
+// TestCloseDrainsQueuedRequests checks shutdown semantics: queued work is
+// answered, not dropped, and post-Close admission reports ErrShuttingDown.
+func TestCloseDrainsQueuedRequests(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	m := testModel(d, nn.KindGCN, 9)
+	svc := newTestService(t, d, Config{Shards: 2, QueueDepth: 128, BatchWait: 20 * time.Millisecond})
+	if err := svc.SwapModel(m); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	var ok, shutdown, other atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			_, err := svc.Predict([]int{v})
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrShuttingDown):
+				shutdown.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("%d unexpected errors during drain", other.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("requests admitted before Close must be answered")
+	}
+	if _, err := svc.Predict([]int{0}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-Close Predict: %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestServiceValidation covers the request-level error surface.
+func TestServiceValidation(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	svc := newTestService(t, d, Config{Shards: 2})
+
+	if _, err := svc.Predict([]int{0}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("pre-swap Predict: %v, want ErrNotReady", err)
+	}
+	if _, err := svc.Predict([]int{-1}); err == nil {
+		t.Fatal("negative vertex id must be rejected")
+	}
+	if _, err := svc.Predict([]int{d.Graph.N}); err == nil {
+		t.Fatal("out-of-range vertex id must be rejected")
+	}
+	bad := nn.NewModel(nn.KindGCN, []int{d.NumFeatures() + 1, 8, d.NumClasses}, 1)
+	if err := svc.SwapModel(bad); err == nil {
+		t.Fatal("model with mismatched input dim must be rejected")
+	}
+	if svc.ActiveVersion() != 0 {
+		t.Fatal("failed swap must not activate a version")
+	}
+	good := testModel(d, nn.KindGCN, 1)
+	if err := svc.SwapModel(good); err != nil {
+		t.Fatal(err)
+	}
+	if svc.ActiveVersion() == 0 {
+		t.Fatal("successful swap must activate")
+	}
+}
+
+// TestWireBitsQuantizedServing runs a sharded service with 8-bit ghost
+// rows on the wire (the AdaQP-style serving compression) and checks the
+// predictions still match the oracle's classes.
+func TestWireBitsQuantizedServing(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	m := testModel(d, nn.KindGCN, 13)
+	want := evalLogits(d, m).ArgMaxRows()
+
+	svc := newTestService(t, d, Config{Shards: 4, WireBits: 8})
+	if err := svc.SwapModel(m); err != nil {
+		t.Fatal(err)
+	}
+	got := predictAll(t, svc, d.Graph.N, 256).ArgMaxRows()
+	agree := 0
+	for i := range got {
+		if got[i] == want[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(got)); frac < 0.99 {
+		t.Fatalf("8-bit wire serving agrees on %.3f of classes, want ≥ 0.99", frac)
+	}
+}
