@@ -45,6 +45,7 @@ func main() {
 		cacheTTL      = flag.Duration("cache-ttl", 0, "ghost-row cache freshness bound (0 pins rows for a version's lifetime — exact)")
 		cacheMaxStale = flag.Duration("cache-max-stale", 0, "serve last-good ghost rows up to this old when a refetch fails (-1s = any age, 0 = never)")
 		wireBits      = flag.Int("wire-bits", 32, "quantisation bits for serve-time ghost fetches (32 = raw float32, exact)")
+		packedSpMM    = flag.Bool("packed-spmm", true, "aggregate quantised cached ghost rows in their packed wire form (false = decode-first oracle, bitwise identical)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "bound on waiting out old-version batches during a swap")
 	)
 	flag.Parse()
@@ -94,6 +95,7 @@ func main() {
 		CacheTTL:        *cacheTTL,
 		CacheMaxStale:   *cacheMaxStale,
 		WireBits:        *wireBits,
+		PackedSpMM:      *packedSpMM,
 		DrainTimeout:    *drainTimeout,
 		Metrics:         reg,
 	}

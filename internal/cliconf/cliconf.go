@@ -70,6 +70,7 @@ type Common struct {
 	Epochs      int
 	Concurrency int
 	Overlap     bool
+	PackedSpMM  bool
 
 	Supervise    bool
 	Heartbeat    time.Duration
@@ -104,6 +105,8 @@ func Register(fs *flag.FlagSet, d Defaults, groups Groups) *Common {
 			"max in-flight ghost-exchange calls per worker (1 = sequential)")
 		fs.BoolVar(&c.Overlap, "overlap", true,
 			"overlap ghost communication with local computation in the epoch loop (false = sequential oracle)")
+		fs.BoolVar(&c.PackedSpMM, "packed-spmm", true,
+			"aggregate quantised ghost payloads in their packed wire form (false = decode-first oracle, bitwise identical)")
 	}
 	if groups&Supervision != 0 {
 		fs.BoolVar(&c.Supervise, "supervise", false,

@@ -49,12 +49,23 @@ func getPacked(n int) []uint64 {
 // Release returns q's packed words to the shared pool. The Quantized and
 // any value decoded from it by reference must not be used afterwards; call
 // it once the matrix has been encoded to the wire or decompressed.
+//
+// Release always poisons the value — q.Packed is nil'd even when the
+// buffer is too large to pool — so a second Release on the same Quantized
+// is a guaranteed no-op and can never double-insert the backing array into
+// the pool (which would hand the same buffer to two future callers).
+// The remaining hazard is releasing through a struct copy that still
+// shares the slice header; Block guards the one conversion that aliases
+// the words by taking ownership, and tests cover both patterns.
 func (q *Quantized) Release() {
-	if q == nil || cap(q.Packed) == 0 || cap(q.Packed) > maxPooledWords {
+	if q == nil || q.Packed == nil {
 		return
 	}
 	s := q.Packed
-	q.Packed = nil
+	q.Packed = nil // poison before pooling: double-release sees nil and stops
+	if cap(s) == 0 || cap(s) > maxPooledWords {
+		return
+	}
 	packedPool.Put(&s)
 }
 
@@ -158,7 +169,19 @@ func (q *Quantized) BucketValue(id int) float32 {
 // Decompress reconstructs the matrix, replacing each element with its
 // bucket's representative value.
 func (q *Quantized) Decompress() *tensor.Matrix {
-	out := tensor.New(q.Rows, q.Cols)
+	return q.DecompressInto(tensor.New(q.Rows, q.Cols))
+}
+
+// DecompressInto is Decompress into caller-owned storage — arena scratch or
+// a responder's persistent buffer — so the remaining decode paths
+// (exact-sync, checkpoint rehydrate, EC residual updates) stop allocating.
+// dst must be Rows×Cols; every element is overwritten. Returns dst.
+func (q *Quantized) DecompressInto(dst *tensor.Matrix) *tensor.Matrix {
+	if dst.Rows != q.Rows || dst.Cols != q.Cols {
+		panic(fmt.Sprintf("compress: DecompressInto %dx%d into %dx%d",
+			q.Rows, q.Cols, dst.Rows, dst.Cols))
+	}
+	out := dst
 	n := q.Rows * q.Cols
 	if n == 0 {
 		return out

@@ -14,6 +14,14 @@ import (
 // Alg. 6). This is classic error feedback applied to embedding gradients.
 type BackwardResponder struct {
 	delta *tensor.Matrix // δ^{l,t−1}; nil until the first response
+
+	// Hot-path scratch, reused across iterations and reallocated only when
+	// the gradient shape changes (topology rebuild): the compensated sum
+	// g + δ and the decode of its quantisation. Respond runs once per
+	// (layer, requester) per epoch on the serving worker's RPC path, so
+	// with these the steady-state response allocates only the wire buffer.
+	cpt *tensor.Matrix
+	dec *tensor.Matrix
 }
 
 // NewBackwardResponder returns fresh responder state (δ = 0).
@@ -28,12 +36,36 @@ func NewBackwardResponder() *BackwardResponder { return &BackwardResponder{} }
 // level makes the error feedback oscillate on those rows (see
 // compress.CompressZeroCentered).
 func (r *BackwardResponder) Respond(g *tensor.Matrix, bits int) []byte {
+	// The elementwise loops compute exactly what g.Add(δ) / cpt.Sub(dec)
+	// did, in the same index order — payloads and residuals stay bitwise
+	// identical to the allocating form.
 	cpt := g
 	if r.delta != nil {
-		cpt = g.Add(r.delta)
+		if r.delta.Rows != g.Rows || r.delta.Cols != g.Cols {
+			panic(fmt.Sprintf("ec: Respond %dx%d gradient against %dx%d residual",
+				g.Rows, g.Cols, r.delta.Rows, r.delta.Cols))
+		}
+		if r.cpt == nil || r.cpt.Rows != g.Rows || r.cpt.Cols != g.Cols {
+			r.cpt = tensor.New(g.Rows, g.Cols)
+		}
+		cd, dd := r.cpt.Data, r.delta.Data
+		for i, x := range g.Data {
+			cd[i] = x + dd[i]
+		}
+		cpt = r.cpt
 	}
 	q := compress.CompressZeroCentered(cpt, bits) // M = C_bit[g + δ] (Eq. 12)
-	r.delta = cpt.Sub(q.Decompress())             // δ = (g + δ_prev) − C[g + δ_prev] (Eq. 11)
+	if r.dec == nil || r.dec.Rows != g.Rows || r.dec.Cols != g.Cols {
+		r.dec = tensor.New(g.Rows, g.Cols)
+	}
+	q.DecompressInto(r.dec)
+	if r.delta == nil || r.delta.Rows != g.Rows || r.delta.Cols != g.Cols {
+		r.delta = tensor.New(g.Rows, g.Cols)
+	}
+	ld, xd := r.delta.Data, r.dec.Data
+	for i, c := range cpt.Data { // δ = (g + δ_prev) − C[g + δ_prev] (Eq. 11)
+		ld[i] = c - xd[i]
+	}
 
 	w := transport.NewWriter(2 + len(q.Packed)*8)
 	w.Byte(schemeCompress)
@@ -181,6 +213,25 @@ func ParseMatrix(payload []byte) *tensor.Matrix {
 		return decompressReleasing(r)
 	case schemeSparse:
 		return r.Sparse().Dense()
+	default:
+		panic(fmt.Sprintf("ec: unexpected matrix scheme %d", scheme))
+	}
+}
+
+// ParsePacked decodes the same payloads as ParseMatrix but keeps a purely
+// quantised matrix (the Cp-fp/Cp-bp and ResEC-BP wire format) in the packed
+// block layout for quantised-domain compute — no decode pass, no float
+// materialisation. Exactly one of the results is non-nil: raw and sparse
+// payloads carry no packed words and come back dense.
+func ParsePacked(payload []byte) (*tensor.Matrix, *compress.Blocked) {
+	r := transport.NewReader(payload)
+	switch scheme := r.Byte(); scheme {
+	case schemeRaw:
+		return r.Matrix(), nil
+	case schemeCompress:
+		return nil, r.Quantized().Block()
+	case schemeSparse:
+		return r.Sparse().Dense(), nil
 	default:
 		panic(fmt.Sprintf("ec: unexpected matrix scheme %d", scheme))
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 
 	"ecgraph/internal/tensor"
 )
@@ -44,7 +45,11 @@ type LocalCSR struct {
 
 // NewLocalCSR builds a LocalCSR over nOwned output rows from row-major
 // entries whose columns may interleave owned and ghost positions; the
-// constructor partitions each row owned-first (stable within each group).
+// constructor partitions each row owned-first (stable within the owned
+// group). Each row's ghost columns are stored in ascending compact index:
+// the tile scheduler walks ghost-row strips in ascending order, and only a
+// sorted layout makes strip order equal storage order — the property that
+// keeps the tiled packed kernels bit-for-bit identical to the direct ones.
 // The inputs are not retained.
 func NewLocalCSR(nOwned int, rowPtr, colIdx []int32, val []float32) *LocalCSR {
 	if len(rowPtr) == 0 || len(colIdx) != len(val) {
@@ -79,6 +84,10 @@ func NewLocalCSR(nOwned int, rowPtr, colIdx []int32, val []float32) *LocalCSR {
 		if out != rowPtr[i+1] {
 			panic(fmt.Sprintf("graph: LocalCSR row %d fill mismatch", i))
 		}
+		if gs := a.ghostStart[i]; out-gs > 1 {
+			ci, vi := a.ColIdx[gs:out], a.Val[gs:out]
+			sort.Sort(&ghostEntrySort{ci, vi})
+		}
 		if a.ghostStart[i] < rowPtr[i+1] {
 			a.boundary = append(a.boundary, int32(i))
 		}
@@ -86,6 +95,20 @@ func NewLocalCSR(nOwned int, rowPtr, colIdx []int32, val []float32) *LocalCSR {
 		a.nnzGhost += int(rowPtr[i+1] - a.ghostStart[i])
 	}
 	return a
+}
+
+// ghostEntrySort orders one row's ghost (column, weight) pairs by column.
+// Columns within a row are unique, so the sort is trivially stable.
+type ghostEntrySort struct {
+	col []int32
+	val []float32
+}
+
+func (s *ghostEntrySort) Len() int           { return len(s.col) }
+func (s *ghostEntrySort) Less(i, j int) bool { return s.col[i] < s.col[j] }
+func (s *ghostEntrySort) Swap(i, j int) {
+	s.col[i], s.col[j] = s.col[j], s.col[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
 }
 
 // NumRows returns the number of output rows (owned vertices).

@@ -1,0 +1,8 @@
+//go:build race
+
+package graph
+
+// raceEnabled reports whether this binary was built with -race, so timing
+// and allocation benchmarks can skip themselves: instrumentation inflates
+// compute and inserts bookkeeping allocations that are not the kernel's.
+const raceEnabled = true

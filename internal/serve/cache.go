@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"ecgraph/internal/compress"
 )
 
 // ghostCache is a shard's cache of remote S^L rows, keyed by (version,
@@ -24,9 +26,28 @@ type cacheKey struct {
 	id      int32
 }
 
+// cacheEntry is immutable once stored: concurrent batch rounds read entries
+// outside the segment lock, so a row is never updated in place — put stores
+// a fresh entry. Exactly one representation is set: row (dense payloads,
+// WireBits 32) or pb/pr (row pr of a retained packed payload, the
+// PackedSpMM steady state — the cached bytes stay quantised end to end).
 type cacheEntry struct {
 	row     []float32
+	pb      *compress.Blocked
+	pr      int
 	fetched time.Time
+}
+
+// denseRow materialises the entry as float32s — the degraded-fallback and
+// oracle paths. The decode is per call, not memoised: writing back would
+// mutate a shared entry under concurrent readers, and fallbacks are cold.
+func (e *cacheEntry) denseRow() []float32 {
+	if e.row != nil {
+		return e.row
+	}
+	out := make([]float32, e.pb.Cols)
+	e.pb.DequantRowInto(e.pr, out)
+	return out
 }
 
 type cacheSeg struct {
@@ -66,10 +87,30 @@ func (c *ghostCache) lookup(version uint32, id int32) (fresh []float32, lastGood
 		return nil, nil, 0
 	}
 	age = c.now().Sub(e.fetched)
+	row := e.denseRow()
 	if c.ttl == 0 || age <= c.ttl {
-		return e.row, e.row, age
+		return row, row, age
 	}
-	return nil, e.row, age
+	return nil, row, age
+}
+
+// lookupPacked is lookup for the packed batch path: it hands back the entry
+// itself (immutable) so a packed row can feed the quantised-domain kernels
+// without materialising, and a dense row serve by reference.
+func (c *ghostCache) lookupPacked(version uint32, id int32) (fresh, lastGood *cacheEntry, age time.Duration) {
+	k := cacheKey{version, id}
+	s := c.seg(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[k]
+	if e == nil {
+		return nil, nil, 0
+	}
+	age = c.now().Sub(e.fetched)
+	if c.ttl == 0 || age <= c.ttl {
+		return e, e, age
+	}
+	return nil, e, age
 }
 
 // usableStale reports whether a last-good row of the given age may serve
@@ -81,11 +122,29 @@ func (c *ghostCache) usableStale(lastGood []float32, age time.Duration) bool {
 	return c.maxStale < 0 || age <= c.maxStale
 }
 
+// usableStaleEntry is usableStale for packed lookups.
+func (c *ghostCache) usableStaleEntry(lastGood *cacheEntry, age time.Duration) bool {
+	if lastGood == nil || c.maxStale == 0 {
+		return false
+	}
+	return c.maxStale < 0 || age <= c.maxStale
+}
+
 func (c *ghostCache) put(version uint32, id int32, row []float32) {
 	k := cacheKey{version, id}
 	s := c.seg(k)
 	s.mu.Lock()
 	s.m[k] = &cacheEntry{row: row, fetched: c.now()}
+	s.mu.Unlock()
+}
+
+// putPacked caches row pr of the retained packed payload pb. Payloads are
+// shared between the entries of one fetch and must never be Released.
+func (c *ghostCache) putPacked(version uint32, id int32, pb *compress.Blocked, pr int) {
+	k := cacheKey{version, id}
+	s := c.seg(k)
+	s.mu.Lock()
+	s.m[k] = &cacheEntry{pb: pb, pr: pr, fetched: c.now()}
 	s.mu.Unlock()
 }
 

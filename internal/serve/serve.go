@@ -82,6 +82,12 @@ type Config struct {
 	// raw rows regardless.
 	WireBits int
 
+	// PackedSpMM keeps quantised ghost rows (WireBits < 32) packed in the
+	// cache and aggregates them in the quantised domain (DESIGN.md §15).
+	// Off, every fetched row is decoded to float32 first — the bitwise
+	// oracle. With WireBits 32 both paths handle dense rows identically.
+	PackedSpMM bool
+
 	DrainTimeout time.Duration // bound on waiting out old-version batches during swap (default 10s)
 
 	Metrics *obs.Registry    // nil disables telemetry

@@ -497,3 +497,30 @@ func TestWireBitsQuantizedServing(t *testing.T) {
 		t.Fatalf("8-bit wire serving agrees on %.3f of classes, want ≥ 0.99", frac)
 	}
 }
+
+// TestPackedSpMMServingBitwiseEqualOracle is the serve half of the
+// quantised-domain SpMM determinism contract (DESIGN.md §15): with
+// quantised ghost fetches (WireBits < 32), a service aggregating packed
+// cached rows directly must serve logits bitwise equal to the decode-first
+// oracle — at every wire width the packed kernels support, and again on a
+// second pass when every ghost row comes from the packed cache.
+func TestPackedSpMMServingBitwiseEqualOracle(t *testing.T) {
+	d := datasets.MustLoad("cora")
+	m := testModel(d, nn.KindGCN, 17)
+	for _, bits := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("B%d", bits), func(t *testing.T) {
+			oracle := newTestService(t, d, Config{Shards: 4, WireBits: bits})
+			if err := oracle.SwapModel(m); err != nil {
+				t.Fatal(err)
+			}
+			want := predictAll(t, oracle, d.Graph.N, 256)
+
+			packed := newTestService(t, d, Config{Shards: 4, WireBits: bits, PackedSpMM: true})
+			if err := packed.SwapModel(m); err != nil {
+				t.Fatal(err)
+			}
+			requireBitwise(t, predictAll(t, packed, d.Graph.N, 256), want, "packed serving (cold cache)")
+			requireBitwise(t, predictAll(t, packed, d.Graph.N, 256), want, "packed serving (warm cache)")
+		})
+	}
+}

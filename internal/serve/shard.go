@@ -418,11 +418,22 @@ func (sh *shard) batchLogits(v uint32, st *versionState, ids []int32) (*tensor.M
 		}
 	}
 
-	ghost, failed := sh.resolveGhosts(v, L, ghostIDs, src.Cols)
 	csr := graph.NewLocalCSR(int(nOwned), rowPtr, colIdx, val)
 	agg := tensor.New(nBatch, src.Cols)
 	csr.SpMMOwnedInto(src.GatherRows(ownedRows), agg)
-	csr.SpMMGhostInto(ghost, agg)
+	var failed map[int32]bool
+	if sh.cfg.PackedSpMM {
+		// Quantised-domain aggregation: cached rows that arrived packed
+		// (WireBits < 32) feed the fold directly, dequantised on register —
+		// bitwise what decode-then-SpMMGhostInto computes.
+		var ghost *graph.GhostOperand
+		ghost, failed = sh.resolveGhostsOp(v, L, ghostIDs, src.Cols)
+		csr.SpMMGhostPacked(ghost, agg)
+	} else {
+		var ghost *tensor.Matrix
+		ghost, failed = sh.resolveGhosts(v, L, ghostIDs, src.Cols)
+		csr.SpMMGhostInto(ghost, agg)
+	}
 
 	layer := st.model.Layers[L-1]
 	logits := agg
@@ -521,6 +532,86 @@ func (sh *shard) resolveGhosts(v uint32, l int, ghostIDs []int32, cols int) (*te
 			if sh.cache.usableStale(p.lastGood, p.age) {
 				sh.metrics.cacheStale.Inc()
 				ghost.SetRow(int(p.slot), p.lastGood)
+			} else {
+				failed[p.id] = true
+			}
+		}
+	}
+	return ghost, failed
+}
+
+// resolveGhostsOp is resolveGhosts for the packed batch path: cache hits
+// and refetches that arrive quantised stay in wire form inside the hybrid
+// operand (and in the cache); raw rows and stale fallbacks land dense.
+func (sh *shard) resolveGhostsOp(v uint32, l int, ghostIDs []int32, cols int) (*graph.GhostOperand, map[int32]bool) {
+	if len(ghostIDs) == 0 {
+		return nil, nil
+	}
+	ghost := graph.NewGhostHybrid(len(ghostIDs), cols)
+	type pending struct {
+		id       int32
+		slot     int32
+		lastGood *cacheEntry
+		age      time.Duration
+	}
+	byPeer := map[int][]pending{}
+	for slot, id := range ghostIDs {
+		fresh, lastGood, age := sh.cache.lookupPacked(v, id)
+		if fresh != nil {
+			sh.metrics.cacheHit.Inc()
+			if fresh.pb != nil {
+				ghost.SetRowPacked(slot, fresh.pb, fresh.pr)
+			} else {
+				ghost.SetRowDense(slot, fresh.row)
+			}
+			continue
+		}
+		sh.metrics.cacheMiss.Inc()
+		peer := int(sh.owner[id])
+		byPeer[peer] = append(byPeer[peer], pending{id: id, slot: int32(slot), lastGood: lastGood, age: age})
+	}
+	if len(byPeer) == 0 {
+		return ghost, nil
+	}
+	calls := make([]transport.Call, 0, len(byPeer))
+	peers := make([]int, 0, len(byPeer))
+	for peer, pend := range byPeer {
+		ids := make([]int32, len(pend))
+		for i, p := range pend {
+			ids[i] = p.id
+		}
+		w := transport.GetWriter(9 + 4*len(ids))
+		w.Uint32(v)
+		w.Byte(byte(l))
+		w.Int32s(ids)
+		calls = append(calls, transport.Call{Dst: peer, Method: methodRows, Req: append([]byte(nil), w.Bytes()...)})
+		peers = append(peers, peer)
+		w.Release()
+	}
+	failed := map[int32]bool{}
+	for ci, res := range sh.net.CallMulti(sh.id, calls) {
+		pend := byPeer[peers[ci]]
+		if res.Err == nil {
+			rows, blk := ec.ParsePacked(res.Resp)
+			for i, p := range pend {
+				if blk != nil {
+					sh.cache.putPacked(v, p.id, blk, i)
+					ghost.SetRowPacked(int(p.slot), blk, i)
+				} else {
+					row := append([]float32(nil), rows.Row(i)...)
+					sh.cache.put(v, p.id, row)
+					ghost.SetRowDense(int(p.slot), row)
+				}
+			}
+			continue
+		}
+		// Same degraded policy as resolveGhosts; a packed last-good entry
+		// materialises per use (fallbacks are cold).
+		sh.metrics.cacheDegraded.Inc()
+		for _, p := range pend {
+			if sh.cache.usableStaleEntry(p.lastGood, p.age) {
+				sh.metrics.cacheStale.Inc()
+				ghost.SetRowDense(int(p.slot), p.lastGood.denseRow())
 			} else {
 				failed[p.id] = true
 			}

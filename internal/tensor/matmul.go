@@ -124,6 +124,15 @@ func ParallelRows(rows, size int, work func(lo, hi int)) {
 	parallelRows(rows, size, work)
 }
 
+// InlineRows reports whether ParallelRows would run the loop inline (work
+// below the parallel crossover). Allocation-free kernels check it first and
+// call their loop body directly on the inline path: merely constructing the
+// closure ParallelRows takes forces a heap allocation (the goroutine branch
+// makes it escape), which would break their zero-allocs-per-op guarantee.
+func InlineRows(rows, size int) bool {
+	return size < parallelThreshold || rows < 2
+}
+
 // parallelRows splits [0,rows) across GOMAXPROCS workers when size (the
 // approximate total scalar work) crosses parallelThreshold.
 func parallelRows(rows, size int, work func(lo, hi int)) {

@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"time"
 
+	"ecgraph/internal/compress"
 	"ecgraph/internal/ec"
+	"ecgraph/internal/graph"
 	"ecgraph/internal/tensor"
 	"ecgraph/internal/transport"
 )
@@ -166,12 +168,16 @@ func (w *Worker) buildGhostH(l, t int) *pendingGhost {
 // successfully fetched rows, subject to the MaxStaleEpochs bound. Peers
 // the supervision layer flags suspect are skipped proactively — the same
 // fallback, without waiting out retries — as long as the bound holds.
-func (w *Worker) fetchGhostH(l, t int) (*tensor.Matrix, error) {
+func (w *Worker) fetchGhostH(l, t int) (*graph.GhostOperand, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
 	}
 	if w.ghostHCache != nil {
-		return w.fetchGhostHDelayed(l, t, w.cfg.Model.Dims[l])
+		m, err := w.fetchGhostHDelayed(l, t, w.cfg.Model.Dims[l])
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewGhostDense(m), nil
 	}
 	p := w.buildGhostH(l, t)
 	return w.mergeGhostH(p, w.callInlineTimed(p), l, t)
@@ -195,7 +201,7 @@ func (w *Worker) issueGhostH(l, t int) *pendingGhost {
 // collectGhostH joins an issued getH batch and performs the decode/merge
 // phase — identical semantics (and identical EC/degraded state mutation
 // order) to the blocking fetchGhostH.
-func (w *Worker) collectGhostH(p *pendingGhost, l, t int) (*tensor.Matrix, error) {
+func (w *Worker) collectGhostH(p *pendingGhost, l, t int) (*graph.GhostOperand, error) {
 	if p.deferred {
 		return w.fetchGhostH(l, t)
 	}
@@ -203,9 +209,54 @@ func (w *Worker) collectGhostH(p *pendingGhost, l, t int) (*tensor.Matrix, error
 }
 
 // mergeGhostH decodes the batch results in ghostOwner order and assembles
-// the ghost matrix, applying the degraded fallback per failed peer. Epoch
-// goroutine only.
-func (w *Worker) mergeGhostH(p *pendingGhost, results []transport.Result, l, t int) (*tensor.Matrix, error) {
+// the ghost operand, applying the degraded fallback per failed peer. Epoch
+// goroutine only. With PackedSpMM, purely quantised payloads keep their
+// packed wire form inside the operand (decoded only by the fold kernels,
+// on register); everything else — raw/sparse payloads, EC trend decodes,
+// skip and degraded fallbacks — lands as dense rows.
+func (w *Worker) mergeGhostH(p *pendingGhost, results []transport.Result, l, t int) (*graph.GhostOperand, error) {
+	if !w.cfg.Opts.PackedSpMM {
+		m, err := w.mergeGhostHDense(p, results, l, t)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewGhostDense(m), nil
+	}
+	op := graph.NewGhostHybrid(len(w.ghostIDs), w.cfg.Model.Dims[l])
+	for _, j := range w.ghostOwner {
+		base := w.ghostBase[j]
+		if rows := p.served[j]; rows != nil {
+			opSetDense(op, base, rows)
+			continue
+		}
+		rows, blk, err := w.decodeHPacked(l, t, j, results[p.callIdx[j]])
+		if err != nil {
+			if rows, err = w.degradedH(l, t, j, err); err != nil {
+				return nil, err
+			}
+			opSetDense(op, base, rows)
+			continue
+		}
+		// Record the last-good state in whichever form arrived; the dense
+		// materialisation is deferred to the first fallback that needs it
+		// (lastGoodH). Retained packed payloads are never Released — a
+		// pooled reclaim could hand their words to a later payload while a
+		// degraded epoch still reads them.
+		w.hLastGood[l][j], w.hLastPacked[l][j] = rows, blk
+		w.hLastEpoch[l][j] = t
+		if blk != nil {
+			op.SetRowsPacked(base, blk)
+		} else {
+			opSetDense(op, base, rows)
+		}
+	}
+	return op, nil
+}
+
+// mergeGhostHDense is the decode-oracle merge (-packed-spmm=false): every
+// payload is decoded into one dense ghost matrix, exactly the pre-packed
+// behaviour the packed path is asserted bitwise against.
+func (w *Worker) mergeGhostHDense(p *pendingGhost, results []transport.Result, l, t int) (*tensor.Matrix, error) {
 	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
 	for _, j := range w.ghostOwner {
 		rows := p.served[j]
@@ -217,6 +268,7 @@ func (w *Worker) mergeGhostH(p *pendingGhost, results []transport.Result, l, t i
 				}
 			} else {
 				w.hLastGood[l][j] = rows
+				w.hLastPacked[l][j] = nil
 				w.hLastEpoch[l][j] = t
 			}
 		}
@@ -226,6 +278,33 @@ func (w *Worker) mergeGhostH(p *pendingGhost, results []transport.Result, l, t i
 		}
 	}
 	return out, nil
+}
+
+// opSetDense installs all rows of a dense payload into the operand at its
+// ghostBase offset, by reference.
+func opSetDense(op *graph.GhostOperand, base int, rows *tensor.Matrix) {
+	for r := 0; r < rows.Rows; r++ {
+		op.SetRowDense(base+r, rows.Row(r))
+	}
+}
+
+// lastGoodH returns peer j's last successfully fetched H rows for layer l,
+// materialising a retained packed payload to dense on first use (fallbacks
+// are cold paths; the dense form is cached back so repeated degraded epochs
+// pay the decode once).
+func (w *Worker) lastGoodH(l, j int) *tensor.Matrix {
+	if w.hLastGood[l][j] == nil && w.hLastPacked[l][j] != nil {
+		w.hLastGood[l][j] = w.hLastPacked[l][j].Dense()
+	}
+	return w.hLastGood[l][j]
+}
+
+// lastGoodG is lastGoodH for gradient rows.
+func (w *Worker) lastGoodG(l, j int) *tensor.Matrix {
+	if w.gLastGood[l][j] == nil && w.gLastPacked[l][j] != nil {
+		w.gLastGood[l][j] = w.gLastPacked[l][j].Dense()
+	}
+	return w.gLastGood[l][j]
 }
 
 // skipFallbackH returns the degraded H rows for peer j when the supervision
@@ -248,7 +327,7 @@ func (w *Worker) skipFallbackH(l, t, j int) *tensor.Matrix {
 			return pdt
 		}
 	}
-	return w.hLastGood[l][j]
+	return w.lastGoodH(l, j)
 }
 
 // decodeH turns one getH result from peer j into ghost rows. Runs on the
@@ -273,6 +352,27 @@ func (w *Worker) decodeH(l, t, j int, res transport.Result) (rows *tensor.Matrix
 	return ec.ParseMatrix(res.Resp), nil
 }
 
+// decodeHPacked is decodeH for the packed merge: purely quantised payloads
+// come back as a retained *compress.Blocked (rows nil), everything else as
+// dense rows (blk nil). FP SchemeEC always decodes dense — its requester
+// Parse maintains the trend state the prediction fallback needs.
+func (w *Worker) decodeHPacked(l, t, j int, res transport.Result) (rows *tensor.Matrix, blk *compress.Blocked, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, blk = nil, nil
+			err = fmt.Errorf("worker %d: decode getH(l=%d,t=%d) from %d: %v", w.id, l, t, j, r)
+		}
+	}()
+	if res.Err != nil {
+		return nil, nil, fmt.Errorf("worker %d: getH(l=%d,t=%d) from %d: %w", w.id, l, t, j, res.Err)
+	}
+	if w.cfg.Opts.FPScheme == SchemeEC {
+		return w.fpReq[l][j].Parse(res.Resp, t), nil, nil
+	}
+	rows, blk = ec.ParsePacked(res.Resp)
+	return rows, blk, nil
+}
+
 // degradedH picks the fallback for a failed H exchange with peer j, or
 // fails the epoch once the staleness bound is exceeded.
 func (w *Worker) degradedH(l, t, j int, cause error) (*tensor.Matrix, error) {
@@ -288,7 +388,7 @@ func (w *Worker) degradedH(l, t, j int, cause error) (*tensor.Matrix, error) {
 			return pdt, nil
 		}
 	}
-	return w.hLastGood[l][j], nil
+	return w.lastGoodH(l, j), nil
 }
 
 // refreshPositions returns, for peer j, the indices within Needs[w][j] that
@@ -399,7 +499,7 @@ func (w *Worker) buildGhostG(l, t int) *pendingGhost {
 // same two-phase batch-then-merge structure as fetchGhostH. Like the
 // forward exchange it degrades to the last-good cached gradient rows when a
 // peer stays unreachable, within the MaxStaleEpochs bound.
-func (w *Worker) fetchGhostG(l, t int) (*tensor.Matrix, error) {
+func (w *Worker) fetchGhostG(l, t int) (*graph.GhostOperand, error) {
 	if len(w.ghostIDs) == 0 {
 		return nil, nil
 	}
@@ -423,7 +523,7 @@ func (w *Worker) issueGhostG(l, t int) *pendingGhost {
 
 // collectGhostG joins an issued getG batch and runs the decode/merge phase
 // with the blocking fetch's exact semantics.
-func (w *Worker) collectGhostG(p *pendingGhost, l, t int) (*tensor.Matrix, error) {
+func (w *Worker) collectGhostG(p *pendingGhost, l, t int) (*graph.GhostOperand, error) {
 	if p.deferred {
 		return w.fetchGhostG(l, t)
 	}
@@ -431,8 +531,50 @@ func (w *Worker) collectGhostG(p *pendingGhost, l, t int) (*tensor.Matrix, error
 }
 
 // mergeGhostG decodes the batch results in ghostOwner order and assembles
-// the ghost gradient matrix. Epoch goroutine only.
-func (w *Worker) mergeGhostG(p *pendingGhost, results []transport.Result, l, t int) (*tensor.Matrix, error) {
+// the ghost gradient operand. Epoch goroutine only. The packed/dense split
+// mirrors mergeGhostH: quantised payloads (Cp-bp, ResEC-BP) stay in wire
+// form, raw/TopK payloads and degraded fallbacks land dense.
+func (w *Worker) mergeGhostG(p *pendingGhost, results []transport.Result, l, t int) (*graph.GhostOperand, error) {
+	if !w.cfg.Opts.PackedSpMM {
+		m, err := w.mergeGhostGDense(p, results, l, t)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewGhostDense(m), nil
+	}
+	op := graph.NewGhostHybrid(len(w.ghostIDs), w.cfg.Model.Dims[l])
+	for _, j := range w.ghostOwner {
+		base := w.ghostBase[j]
+		if rows := p.served[j]; rows != nil {
+			opSetDense(op, base, rows)
+			continue
+		}
+		rows, blk, err := w.decodeGPacked(l, t, j, results[p.callIdx[j]])
+		if err != nil {
+			bound := w.cfg.Opts.MaxStaleEpochs
+			last := w.gLastEpoch[l][j]
+			if bound < 0 || last < 0 || t-last > bound {
+				return nil, fmt.Errorf("worker %d: ghost G(l=%d) from %d unrecoverable at epoch %d (last good epoch %d, staleness bound %d): %w",
+					w.id, l, j, t, last, bound, err)
+			}
+			w.degraded++
+			opSetDense(op, base, w.lastGoodG(l, j))
+			continue
+		}
+		w.gLastGood[l][j], w.gLastPacked[l][j] = rows, blk
+		w.gLastEpoch[l][j] = t
+		if blk != nil {
+			op.SetRowsPacked(base, blk)
+		} else {
+			opSetDense(op, base, rows)
+		}
+	}
+	return op, nil
+}
+
+// mergeGhostGDense is the decode-oracle merge for gradients
+// (-packed-spmm=false), the pre-packed behaviour unchanged.
+func (w *Worker) mergeGhostGDense(p *pendingGhost, results []transport.Result, l, t int) (*tensor.Matrix, error) {
 	out := tensor.New(len(w.ghostIDs), w.cfg.Model.Dims[l])
 	for _, j := range w.ghostOwner {
 		rows := p.served[j]
@@ -446,9 +588,10 @@ func (w *Worker) mergeGhostG(p *pendingGhost, results []transport.Result, l, t i
 						w.id, l, j, t, last, bound, err)
 				}
 				w.degraded++
-				rows = w.gLastGood[l][j]
+				rows = w.lastGoodG(l, j)
 			} else {
 				w.gLastGood[l][j] = rows
+				w.gLastPacked[l][j] = nil
 				w.gLastEpoch[l][j] = t
 			}
 		}
@@ -473,7 +616,7 @@ func (w *Worker) skipFallbackG(l, t, j int) *tensor.Matrix {
 	}
 	w.degraded++
 	w.skips++
-	return w.gLastGood[l][j]
+	return w.lastGoodG(l, j)
 }
 
 // decodeG turns one getG result from peer j into ghost gradient rows,
@@ -490,6 +633,22 @@ func (w *Worker) decodeG(l, t, j int, res transport.Result) (rows *tensor.Matrix
 		return nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, res.Err)
 	}
 	return ec.ParseMatrix(res.Resp), nil
+}
+
+// decodeGPacked is decodeG for the packed merge: quantised payloads come
+// back as a retained *compress.Blocked (rows nil), raw/sparse ones dense.
+func (w *Worker) decodeGPacked(l, t, j int, res transport.Result) (rows *tensor.Matrix, blk *compress.Blocked, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, blk = nil, nil
+			err = fmt.Errorf("worker %d: decode getG(l=%d,t=%d) from %d: %v", w.id, l, t, j, r)
+		}
+	}()
+	if res.Err != nil {
+		return nil, nil, fmt.Errorf("worker %d: getG(l=%d,t=%d) from %d: %w", w.id, l, t, j, res.Err)
+	}
+	rows, blk = ec.ParsePacked(res.Resp)
+	return rows, blk, nil
 }
 
 // Handler returns the transport handler serving this worker's RPCs. It runs

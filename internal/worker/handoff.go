@@ -233,8 +233,8 @@ func (w *Worker) lastH(l int, v int32) ([]float32, int) {
 		for _, j := range w.ghostOwner {
 			base := w.ghostBase[j]
 			if int(pos) >= base && int(pos) < base+len(w.topo.Needs[w.id][j]) {
-				if w.hLastGood[l][j] != nil && w.hLastEpoch[l][j] >= 0 {
-					return w.hLastGood[l][j].Row(int(pos) - base), w.hLastEpoch[l][j]
+				if m := w.lastGoodH(l, j); m != nil && w.hLastEpoch[l][j] >= 0 {
+					return m.Row(int(pos) - base), w.hLastEpoch[l][j]
 				}
 				break
 			}
@@ -256,8 +256,8 @@ func (w *Worker) lastG(l int, v int32) ([]float32, int) {
 		for _, j := range w.ghostOwner {
 			base := w.ghostBase[j]
 			if int(pos) >= base && int(pos) < base+len(w.topo.Needs[w.id][j]) {
-				if w.gLastGood[l][j] != nil && w.gLastEpoch[l][j] >= 0 {
-					return w.gLastGood[l][j].Row(int(pos) - base), w.gLastEpoch[l][j]
+				if m := w.lastGoodG(l, j); m != nil && w.gLastEpoch[l][j] >= 0 {
+					return m.Row(int(pos) - base), w.gLastEpoch[l][j]
 				}
 				break
 			}

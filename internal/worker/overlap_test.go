@@ -195,12 +195,12 @@ func TestIssueDoesNotBlockOnStraggler(t *testing.T) {
 	// Collect, by contract, blocks until the straggler responds.
 	var wg sync.WaitGroup
 	wg.Add(1)
-	var ghost *tensor.Matrix
+	var ghostOp *graph.GhostOperand
 	var collectErr error
 	collected := make(chan struct{})
 	go func() {
 		defer wg.Done()
-		ghost, collectErr = w0.collectGhostH(pend, 1, 0)
+		ghostOp, collectErr = w0.collectGhostH(pend, 1, 0)
 		close(collected)
 	}()
 	select {
@@ -215,6 +215,7 @@ func TestIssueDoesNotBlockOnStraggler(t *testing.T) {
 	}
 	// Worker 0 ghosts are {1,3,5} = w1's owned rows {0,1,2}; raw scheme
 	// ships them unmodified.
+	ghost := ghostOp.Dense()
 	if ghost.Rows != 3 || ghost.Cols != 4 {
 		t.Fatalf("ghost shape %dx%d, want 3x4", ghost.Rows, ghost.Cols)
 	}

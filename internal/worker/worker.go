@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ecgraph/internal/compress"
 	"ecgraph/internal/ec"
 	"ecgraph/internal/graph"
 	"ecgraph/internal/nn"
@@ -103,6 +104,15 @@ type Options struct {
 	// sequential path — both run the same shared layer functions, differing
 	// only in when the wire work happens.
 	Overlap bool
+	// PackedSpMM computes the ghost aggregation directly on packed wire
+	// payloads (quantised-domain SpMM, DESIGN.md §15): eligible payloads
+	// stay in the block-quantised layout, the fold kernels dequantise on
+	// register through per-block LUTs, and layer-transient scratch comes
+	// from a per-worker arena — the steady-state fold allocates nothing.
+	// Off, every payload is decoded into a dense ghost matrix first: the
+	// bitwise oracle the packed path is asserted against (both compute
+	// bit-for-bit identical results by construction).
+	PackedSpMM bool
 }
 
 // RPC method names served by Worker.Handler.
@@ -215,12 +225,26 @@ type Worker struct {
 	// Degraded-mode state: the last successfully fetched ghost rows per
 	// (layer, owning peer) and the epoch they arrived, bounding how stale a
 	// served fallback may be. Only the epoch goroutine touches these.
-	hLastGood  [][]*tensor.Matrix // [layer][owner]
-	hLastEpoch [][]int
-	gLastGood  [][]*tensor.Matrix
-	gLastEpoch [][]int
-	degraded   int // degraded fetches served this epoch
-	skips      int // degraded fetches served proactively (suspect/straggling peer)
+	// With PackedSpMM a payload that arrived packed is retained in
+	// hLastPacked/gLastPacked instead (the dense slot stays nil until a
+	// fallback materialises it via lastGoodH/lastGoodG); retained payloads
+	// are never Released — the words must not return to the pool while a
+	// future fallback may still read them.
+	hLastGood   [][]*tensor.Matrix // [layer][owner]
+	hLastEpoch  [][]int
+	gLastGood   [][]*tensor.Matrix
+	gLastEpoch  [][]int
+	hLastPacked [][]*compress.Blocked
+	gLastPacked [][]*compress.Blocked
+	degraded    int // degraded fetches served this epoch
+	skips       int // degraded fetches served proactively (suspect/straggling peer)
+
+	// scratch is the epoch goroutine's arena for layer-transient compute
+	// scratch: the packed fold's compact output and the tile scheduler's
+	// strip decode buffers. Reset at every layer entry; per the arena
+	// ownership rule (DESIGN.md §15) nothing retained across a layer may
+	// come from it.
+	scratch *tensor.Arena
 }
 
 // New builds the worker's local structures from the global graph. It does
@@ -251,6 +275,7 @@ func New(cfg Config) *Worker {
 		z:         make([]*tensor.Matrix, L+1),
 		ownH:      make([]*tensor.Matrix, L+1),
 		layerBits: make([]atomic.Int64, L+1),
+		scratch:   tensor.NewArena(0),
 	}
 	w.obs = newWorkerObs(cfg.Metrics, cfg.Tracer, cfg.ID, L)
 	for i, v := range w.owned {
@@ -373,11 +398,15 @@ func New(cfg Config) *Worker {
 	w.hLastEpoch = make([][]int, L+1)
 	w.gLastGood = make([][]*tensor.Matrix, L+1)
 	w.gLastEpoch = make([][]int, L+1)
+	w.hLastPacked = make([][]*compress.Blocked, L+1)
+	w.gLastPacked = make([][]*compress.Blocked, L+1)
 	for l := 0; l <= L; l++ {
 		w.hLastGood[l] = make([]*tensor.Matrix, cfg.Topo.NumWorkers)
 		w.gLastGood[l] = make([]*tensor.Matrix, cfg.Topo.NumWorkers)
 		w.hLastEpoch[l] = make([]int, cfg.Topo.NumWorkers)
 		w.gLastEpoch[l] = make([]int, cfg.Topo.NumWorkers)
+		w.hLastPacked[l] = make([]*compress.Blocked, cfg.Topo.NumWorkers)
+		w.gLastPacked[l] = make([]*compress.Blocked, cfg.Topo.NumWorkers)
 		for j := range w.hLastEpoch[l] {
 			w.hLastEpoch[l][j] = -1
 			w.gLastEpoch[l][j] = -1
@@ -495,6 +524,8 @@ func (w *Worker) ResetSessionState() {
 			w.hLastEpoch[l][j] = -1
 			w.gLastGood[l][j] = nil
 			w.gLastEpoch[l][j] = -1
+			w.hLastPacked[l][j] = nil
+			w.gLastPacked[l][j] = nil
 		}
 	}
 	for l := range w.ghostHCache {
@@ -677,14 +708,14 @@ func (w *Worker) RunEpoch(t int) (EpochReport, error) {
 // is asserted bit-for-bit against.
 func (w *Worker) forwardSequential(t, L int) error {
 	for l := 1; l <= L; l++ {
-		ghost := w.ghostX
+		ghost := graph.NewGhostDense(w.ghostX)
 		if l > 1 {
 			var err error
 			if ghost, err = w.fetchGhostH(l-1, t); err != nil {
 				return err
 			}
 		}
-		if err := w.forwardLayer(l, t, func() (*tensor.Matrix, error) { return ghost, nil }); err != nil {
+		if err := w.forwardLayer(l, t, func() (*graph.GhostOperand, error) { return ghost, nil }); err != nil {
 			return err
 		}
 	}
@@ -700,10 +731,10 @@ func (w *Worker) forwardSequential(t, L int) error {
 func (w *Worker) forwardOverlap(t, L int) error {
 	var pend *pendingGhost
 	for l := 1; l <= L; l++ {
-		collect := func() (*tensor.Matrix, error) { return w.ghostX, nil }
+		collect := func() (*graph.GhostOperand, error) { return graph.NewGhostDense(w.ghostX), nil }
 		if l > 1 {
 			p, prevLayer := pend, l-1
-			collect = func() (*tensor.Matrix, error) { return w.collectGhostH(p, prevLayer, t) }
+			collect = func() (*graph.GhostOperand, error) { return w.collectGhostH(p, prevLayer, t) }
 		}
 		if err := w.forwardLayer(l, t, collect); err != nil {
 			return err
@@ -721,9 +752,12 @@ func (w *Worker) forwardOverlap(t, L int) error {
 // matmuls — and is exactly the work the overlap path performs while the
 // exchange is on the wire. Both epoch paths execute this same body, so
 // their float operation sequences are identical.
-func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) error {
+func (w *Worker) forwardLayer(l, t int, collect func() (*graph.GhostOperand, error)) error {
 	layer := w.cfg.Model.Layers[l-1]
 	h := w.ownH[l-1]
+	// Everything carved from the arena last layer is dead (folded into that
+	// layer's outputs), so the slab is reclaimed wholesale here.
+	w.scratch.Reset()
 
 	// Tracing stays off the arithmetic: the nil check is the only cost
 	// when disabled, and time.Now never influences what gets computed.
@@ -754,15 +788,13 @@ func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) 
 		tr.Span(fmt.Sprintf("fp%d collect", l), "fp", 1+w.id, 0, t0, now.Sub(t0))
 		t0 = now
 	}
-	if ghost != nil && ghost.Rows > 0 {
-		// Compact fold: the ghost aggregation only touches boundary rows,
-		// so its dense transform runs over len(BoundaryRows()) rows and is
-		// scattered back — the fold's cost tracks the partition's cut, not
-		// its size.
-		if ahGhost := w.adj.SpMMGhostCompact(ghost); ahGhost != nil {
-			z.AddRowsAt(w.adj.BoundaryRows(), ahGhost.MatMul(layer.W))
-			ah.AddRowsAt(w.adj.BoundaryRows(), ahGhost)
-		}
+	// Compact fold: the ghost aggregation only touches boundary rows, so
+	// its dense transform runs over len(BoundaryRows()) rows and is
+	// scattered back — the fold's cost tracks the partition's cut, not its
+	// size.
+	if ahGhost := w.ghostFold(ghost); ahGhost != nil {
+		z.AddRowsAt(w.adj.BoundaryRows(), ahGhost.MatMul(layer.W))
+		ah.AddRowsAt(w.adj.BoundaryRows(), ahGhost)
 	}
 	if zSelf != nil {
 		z.AddInPlace(zSelf)
@@ -787,7 +819,7 @@ func (w *Worker) forwardLayer(l, t int, collect func() (*tensor.Matrix, error)) 
 // mirroring forwardSequential.
 func (w *Worker) backwardSequential(t, L int, g *tensor.Matrix, grads *nn.Gradients) error {
 	for l := L; l >= 1; l-- {
-		var ghost *tensor.Matrix
+		var ghost *graph.GhostOperand
 		if l >= 2 {
 			w.gStore.Put(l, t, g)
 			var err error
@@ -795,7 +827,7 @@ func (w *Worker) backwardSequential(t, L int, g *tensor.Matrix, grads *nn.Gradie
 				return err
 			}
 		}
-		gPrev, err := w.backwardLayer(l, g, grads, func() (*tensor.Matrix, error) { return ghost, nil })
+		gPrev, err := w.backwardLayer(l, g, grads, func() (*graph.GhostOperand, error) { return ghost, nil })
 		if err != nil {
 			return err
 		}
@@ -815,7 +847,7 @@ func (w *Worker) backwardOverlap(t, L int, g *tensor.Matrix, grads *nn.Gradients
 			pend = w.issueGhostG(l, t)
 		}
 		p, layer := pend, l
-		gPrev, err := w.backwardLayer(l, g, grads, func() (*tensor.Matrix, error) {
+		gPrev, err := w.backwardLayer(l, g, grads, func() (*graph.GhostOperand, error) {
 			return w.collectGhostG(p, layer, t)
 		})
 		if err != nil {
@@ -831,8 +863,9 @@ func (w *Worker) backwardOverlap(t, L int, g *tensor.Matrix, grads *nn.Gradients
 // from collect. The weight-gradient matmuls and the owned-column
 // aggregation run before collect — the overlap window — and collect is
 // never invoked for l == 1.
-func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, collect func() (*tensor.Matrix, error)) (*tensor.Matrix, error) {
+func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, collect func() (*graph.GhostOperand, error)) (*tensor.Matrix, error) {
 	layer := w.cfg.Model.Layers[l-1]
+	w.scratch.Reset()
 	tr := w.obs.tracer
 	var t0 time.Time
 	if tr != nil {
@@ -872,10 +905,8 @@ func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, col
 		tr.Span(fmt.Sprintf("bp%d collect", l), "bp", 1+w.id, 0, t0, now.Sub(t0))
 		t0 = now
 	}
-	if ghost != nil && ghost.Rows > 0 {
-		if agGhost := w.adj.SpMMGhostCompact(ghost); agGhost != nil {
-			gPrev.AddRowsAt(w.adj.BoundaryRows(), agGhost.MatMulT(layer.W))
-		}
+	if agGhost := w.ghostFold(ghost); agGhost != nil {
+		gPrev.AddRowsAt(w.adj.BoundaryRows(), agGhost.MatMulT(layer.W))
 	}
 	if gSelf != nil {
 		gPrev.AddInPlace(gSelf)
@@ -885,6 +916,23 @@ func (w *Worker) backwardLayer(l int, g *tensor.Matrix, grads *nn.Gradients, col
 		tr.Span(fmt.Sprintf("bp%d fold", l), "bp", 1+w.id, 0, t0, time.Since(t0))
 	}
 	return out, nil
+}
+
+// ghostFold computes the compact boundary-row ghost aggregation for a layer
+// fold. With PackedSpMM the hybrid operand feeds the packed kernel directly
+// — packed rows dequantise on register, the compact output comes from the
+// layer arena. Without it the operand is decoded into a dense matrix first
+// and the oracle kernel runs; the two paths are bit-for-bit identical by
+// construction (see internal/graph's packed bitwise tests). Nil when there
+// is nothing to fold.
+func (w *Worker) ghostFold(ghost *graph.GhostOperand) *tensor.Matrix {
+	if ghost == nil || ghost.Rows == 0 {
+		return nil
+	}
+	if w.cfg.Opts.PackedSpMM {
+		return w.adj.SpMMGhostCompactPacked(ghost, w.scratch)
+	}
+	return w.adj.SpMMGhostCompact(ghost.Dense())
 }
 
 // Logits returns the owned vertex ids and their final-layer logits from the
